@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Compare AARC against the paper's baselines on the ML Pipeline workflow.
+
+Runs AARC, Bayesian Optimization (decoupled per-function space) and MAFF
+gradient descent (coupled, memory-centric) on the ML Pipeline benchmark and
+prints, for each method: the number of samples the search used, the total
+sampling runtime and cost (the quantities behind the paper's Fig. 5), and the
+runtime/cost of the configuration each method finally selects (Table II).
+
+Run with::
+
+    python examples/compare_methods.py [workload]
+
+where ``workload`` is one of ``chatbot``, ``ml-pipeline`` (default) or
+``video-analysis``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments.harness import ExperimentSettings, make_searcher
+from repro.utils.tables import Table
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "ml-pipeline"
+    settings = ExperimentSettings(seed=2025, bo_samples=60)
+    workload = get_workload(workload_name)
+    print(f"workload: {workload.name} (SLO {workload.slo.latency_limit:.0f}s)")
+    print()
+
+    table = Table(
+        ["method", "samples", "search_runtime_s", "search_cost",
+         "best_runtime_s", "best_cost"],
+        precision=1,
+        title="Configuration search comparison",
+    )
+    results = {}
+    for method in ("AARC", "BO", "MAFF"):
+        searcher = make_searcher(method, workload, settings)
+        objective = workload.build_objective()
+        result = searcher.search(objective)
+        results[method] = result
+        table.add_row(
+            method,
+            result.sample_count,
+            result.total_search_runtime_seconds,
+            result.total_search_cost,
+            result.best_runtime_seconds if result.found_feasible else float("nan"),
+            result.best_cost if result.found_feasible else float("nan"),
+        )
+    print(table.render())
+    print()
+
+    aarc = results["AARC"]
+    for baseline in ("BO", "MAFF"):
+        other = results[baseline]
+        if aarc.found_feasible and other.found_feasible:
+            saving = 1.0 - aarc.best_cost / other.best_cost
+            print(f"AARC configuration cost vs {baseline}: -{saving * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: configure the Chatbot workflow with AARC.
+
+Builds the Chatbot benchmark workload (DAG + calibrated performance profiles),
+runs the AARC search against its 120 s end-to-end SLO, and prints the
+discovered per-function CPU/memory configuration together with the cost
+saving over the over-provisioned base configuration.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import AARC, AARCOptions, SchedulerOptions, get_workload
+
+
+def main() -> None:
+    workload = get_workload("chatbot")
+    print(workload.describe())
+    print()
+
+    # The objective wraps the execution simulator: every evaluation runs the
+    # workflow once and records its end-to-end latency and cost.
+    objective = workload.build_objective()
+
+    searcher = AARC(
+        options=AARCOptions(scheduler=SchedulerOptions(base_config=workload.base_config))
+    )
+    result = searcher.search(objective)
+
+    base_sample = objective.history.samples[0]
+    print(f"search finished: {result.summary()}")
+    print()
+    print("discovered configuration:")
+    for name, config in sorted(result.best_configuration.items()):
+        print(f"  {name:>20s}: {config.describe()}")
+    print()
+    print(f"base configuration cost : {base_sample.cost:10.1f}")
+    print(f"AARC configuration cost : {result.best_cost:10.1f}")
+    saving = 1.0 - result.best_cost / base_sample.cost
+    print(f"cost saving             : {saving * 100:9.1f}%")
+    print(f"end-to-end latency      : {result.best_runtime_seconds:10.2f}s "
+          f"(SLO {workload.slo.latency_limit:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file exists so the
+package can be installed editable in offline environments whose pip/setuptools
+combination lacks the ``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Exposes the most common operations of the library without writing Python:
+
+* ``repro-aarc workloads`` — list the built-in benchmark workloads.
+* ``repro-aarc describe <workload>`` — show a workload's DAG, SLO and profiles.
+* ``repro-aarc search <workload> --method AARC`` — run one configuration
+  search and print the discovered configuration.
+* ``repro-aarc compare <workload>`` — run AARC, BO and MAFF and print the
+  search-efficiency and outcome comparison.
+* ``repro-aarc heatmap <workload>`` — regenerate the Fig. 2 decoupling sweep.
+
+The CLI is intentionally a thin veneer over :mod:`repro.experiments`; every
+command is equally accessible from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.harness import DEFAULT_METHODS, ExperimentSettings, make_searcher
+from repro.experiments.motivation import decoupling_heatmap
+from repro.experiments.reporting import render_heatmap
+from repro.utils.tables import Table
+from repro.workflow.serialization import configuration_to_dict
+from repro.workloads.registry import get_workload, list_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aarc",
+        description="AARC reproduction: automated affinity-aware resource configuration",
+    )
+    parser.add_argument("--seed", type=int, default=2025, help="experiment seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list the built-in benchmark workloads")
+
+    describe = subparsers.add_parser("describe", help="describe one workload")
+    describe.add_argument("workload", help="workload name (see 'workloads')")
+
+    search = subparsers.add_parser("search", help="search a configuration for one workload")
+    search.add_argument("workload")
+    search.add_argument(
+        "--method", default="AARC", choices=["AARC", "BO", "MAFF", "Random"],
+        help="search method to run",
+    )
+    search.add_argument(
+        "--bo-samples", type=int, default=100, help="sample budget for BO/Random"
+    )
+    search.add_argument(
+        "--json", action="store_true", help="print the configuration as JSON"
+    )
+
+    compare = subparsers.add_parser("compare", help="compare AARC, BO and MAFF on one workload")
+    compare.add_argument("workload")
+    compare.add_argument("--bo-samples", type=int, default=60)
+
+    heatmap = subparsers.add_parser("heatmap", help="decoupled (vCPU, memory) sweep (Fig. 2)")
+    heatmap.add_argument("workload")
+
+    return parser
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    for name in list_workloads():
+        print(name)
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    print(workload.describe())
+    print()
+    table = Table(
+        ["function", "affinity", "cpu_seconds", "io_seconds", "working_set_mb"],
+        precision=1,
+        title="performance profiles",
+    )
+    for spec in workload.workflow.functions:
+        profile = workload.profile_by_name(spec.profile_name)
+        affinity = profile.tags[0] if profile.tags else "balanced"
+        table.add_row(spec.name, affinity, profile.cpu_seconds, profile.io_seconds,
+                      profile.working_set_mb)
+    print(table.render())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(seed=args.seed, bo_samples=args.bo_samples)
+    searcher = make_searcher(args.method, workload, settings)
+    objective = workload.build_objective()
+    result = searcher.search(objective)
+    if not result.found_feasible:
+        print(result.summary(), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(configuration_to_dict(result.best_configuration), indent=2))
+        return 0
+    print(result.summary())
+    for name, config in sorted(result.best_configuration.items()):
+        print(f"  {name:>24s}: {config.describe()}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    settings = ExperimentSettings(seed=args.seed, bo_samples=args.bo_samples)
+    table = Table(
+        ["method", "samples", "search_runtime_s", "search_cost", "best_runtime_s", "best_cost"],
+        precision=1,
+        title=f"search comparison on {workload.name} (SLO {workload.slo.latency_limit:.0f}s)",
+    )
+    exit_code = 0
+    for method in DEFAULT_METHODS:
+        searcher = make_searcher(method, workload, settings)
+        objective = workload.build_objective()
+        result = searcher.search(objective)
+        if not result.found_feasible:
+            exit_code = 1
+        table.add_row(
+            method,
+            result.sample_count,
+            result.total_search_runtime_seconds,
+            result.total_search_cost,
+            result.best_runtime_seconds if result.found_feasible else float("nan"),
+            result.best_cost if result.found_feasible else float("nan"),
+        )
+    print(table.render())
+    return exit_code
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    print(render_heatmap(decoupling_heatmap(args.workload)))
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "describe": _cmd_describe,
+    "search": _cmd_search,
+    "compare": _cmd_compare,
+    "heatmap": _cmd_heatmap,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""AARC core: the paper's primary contribution.
+
+* :mod:`repro.core.config_space` — the decoupled (vCPU, memory) search space.
+* :mod:`repro.core.objective` — the sample-counting objective every search
+  method (AARC and the baselines) optimises against.
+* :mod:`repro.core.critical_path` — weighted-DAG critical-path and detour
+  sub-path analysis used by the Graph-Centric Scheduler.
+* :mod:`repro.core.operations` — resource adjustment operations and the
+  priority queue that drives the Priority Configurator.
+* :mod:`repro.core.configurator` — Priority Configuration (Algorithm 2).
+* :mod:`repro.core.scheduler` — Overall Scheduling (Algorithm 1).
+* :mod:`repro.core.aarc` — the user-facing AARC facade.
+* :mod:`repro.core.input_aware` — the Input-Aware Configuration Engine plugin.
+"""
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.objective import (
+    ConfigurationSearcher,
+    EvaluationResult,
+    Sample,
+    SearchHistory,
+    SearchResult,
+    WorkflowObjective,
+)
+from repro.core.critical_path import (
+    CriticalPathAnalysis,
+    SubPath,
+    find_critical_path,
+    find_detour_subpaths,
+    runtime_sum,
+)
+from repro.core.operations import AdjustmentOperation, OperationQueue, ResourceType
+from repro.core.configurator import PriorityConfigurator, PriorityConfiguratorOptions
+from repro.core.scheduler import GraphCentricScheduler, SchedulerOptions
+from repro.core.aarc import AARC, AARCOptions
+from repro.core.input_aware import InputAwareEngine, InputClassRule
+
+__all__ = [
+    "ConfigurationSpace",
+    "WorkflowObjective",
+    "EvaluationResult",
+    "Sample",
+    "SearchHistory",
+    "SearchResult",
+    "ConfigurationSearcher",
+    "CriticalPathAnalysis",
+    "SubPath",
+    "find_critical_path",
+    "find_detour_subpaths",
+    "runtime_sum",
+    "AdjustmentOperation",
+    "OperationQueue",
+    "ResourceType",
+    "PriorityConfigurator",
+    "PriorityConfiguratorOptions",
+    "GraphCentricScheduler",
+    "SchedulerOptions",
+    "AARC",
+    "AARCOptions",
+    "InputAwareEngine",
+    "InputClassRule",
+]

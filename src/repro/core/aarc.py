@@ -1,0 +1,66 @@
+"""AARC facade — the user-facing entry point of the framework.
+
+Wraps the Graph-Centric Scheduler and Priority Configurator behind the common
+:class:`~repro.core.objective.ConfigurationSearcher` interface so AARC and the
+baselines are interchangeable in experiments, and provides the convenience
+constructor used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.configurator import PriorityConfiguratorOptions
+from repro.core.objective import ConfigurationSearcher, SearchResult, WorkflowObjective
+from repro.core.scheduler import GraphCentricScheduler, SchedulerOptions
+
+__all__ = ["AARCOptions", "AARC"]
+
+
+@dataclass(frozen=True)
+class AARCOptions:
+    """Bundled configuration of both AARC components."""
+
+    configurator: PriorityConfiguratorOptions = field(
+        default_factory=PriorityConfiguratorOptions
+    )
+    scheduler: SchedulerOptions = field(default_factory=SchedulerOptions)
+
+
+class AARC(ConfigurationSearcher):
+    """Automated Affinity-aware Resource Configuration.
+
+    Parameters
+    ----------
+    config_space:
+        The decoupled configuration grid to search over.
+    options:
+        Optional tuning of the scheduler and configurator.
+
+    Examples
+    --------
+    >>> from repro import AARC, ConfigurationSpace
+    >>> searcher = AARC(ConfigurationSpace())
+    >>> # result = searcher.search(objective)
+    """
+
+    name = "AARC"
+
+    def __init__(
+        self,
+        config_space: Optional[ConfigurationSpace] = None,
+        options: Optional[AARCOptions] = None,
+    ) -> None:
+        self.config_space = config_space if config_space is not None else ConfigurationSpace()
+        self.options = options if options is not None else AARCOptions()
+        self.scheduler = GraphCentricScheduler(
+            config_space=self.config_space,
+            configurator_options=self.options.configurator,
+            options=self.options.scheduler,
+        )
+
+    def search(self, objective: WorkflowObjective) -> SearchResult:
+        """Find a cost-minimal SLO-compliant configuration for the objective."""
+        return self.scheduler.schedule(objective)

@@ -1,0 +1,327 @@
+"""Objective wrapper and search bookkeeping shared by all methods.
+
+Every configuration-search method in this reproduction (AARC, Bayesian
+Optimization, MAFF, random/grid search) optimises the same objective:
+*minimise the cost of one workflow execution subject to the end-to-end
+latency SLO*.  The :class:`WorkflowObjective` wraps the execution simulator
+behind a single ``evaluate`` call, counts samples, and records every sample's
+runtime and cost — the raw material of the paper's Figs. 5–7 (total and
+per-sample search runtime/cost).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.execution.executor import WorkflowExecutor
+from repro.execution.trace import ExecutionTrace
+from repro.utils.rng import RngStream
+from repro.workflow.dag import Workflow
+from repro.workflow.resources import WorkflowConfiguration
+from repro.workflow.slo import SLO
+
+__all__ = [
+    "EvaluationResult",
+    "Sample",
+    "SearchHistory",
+    "SearchResult",
+    "WorkflowObjective",
+    "ConfigurationSearcher",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one candidate configuration.
+
+    Attributes
+    ----------
+    configuration:
+        The evaluated per-function configuration.
+    runtime_seconds:
+        End-to-end latency of the simulated execution.
+    cost:
+        Total cost of the execution under the experiment's pricing model.
+    slo_met:
+        Whether the end-to-end latency satisfied the SLO.
+    succeeded:
+        Whether every function completed (no OOM).
+    trace:
+        The full execution trace (per-function runtimes, costs, statuses).
+    """
+
+    configuration: WorkflowConfiguration
+    runtime_seconds: float
+    cost: float
+    slo_met: bool
+    succeeded: bool
+    trace: ExecutionTrace
+
+    @property
+    def feasible(self) -> bool:
+        """SLO met and no function failed."""
+        return self.slo_met and self.succeeded
+
+    def path_runtime(self, path: Sequence[str]) -> float:
+        """Summed runtime of the functions along a (sequential) path."""
+        runtimes = self.trace.runtimes()
+        return sum(runtimes[name] for name in path)
+
+    def path_cost(self, path: Sequence[str]) -> float:
+        """Summed cost of the functions along a path."""
+        return sum(self.trace.record(name).cost for name in path)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One recorded sample of the search process."""
+
+    index: int
+    configuration: WorkflowConfiguration
+    runtime_seconds: float
+    cost: float
+    feasible: bool
+    phase: str = "search"
+
+
+class SearchHistory:
+    """Append-only record of all samples taken during a search."""
+
+    def __init__(self) -> None:
+        self._samples: List[Sample] = []
+
+    def record(self, result: EvaluationResult, phase: str = "search") -> Sample:
+        """Append one evaluation as a sample and return it."""
+        sample = Sample(
+            index=len(self._samples),
+            configuration=result.configuration,
+            runtime_seconds=result.runtime_seconds,
+            cost=result.cost,
+            feasible=result.feasible,
+            phase=phase,
+        )
+        self._samples.append(sample)
+        return sample
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def samples(self) -> List[Sample]:
+        """All samples in order."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    # -- aggregates (the quantities plotted in the paper) -----------------------
+    @property
+    def sample_count(self) -> int:
+        """Number of samples taken."""
+        return len(self._samples)
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        """Total wall-clock time spent executing samples (Fig. 5a)."""
+        return sum(s.runtime_seconds for s in self._samples)
+
+    @property
+    def total_cost(self) -> float:
+        """Total monetary cost of executing samples (Fig. 5b)."""
+        return sum(s.cost for s in self._samples)
+
+    def runtime_series(self) -> List[float]:
+        """Per-sample end-to-end runtime (Fig. 6 trajectories)."""
+        return [s.runtime_seconds for s in self._samples]
+
+    def cost_series(self) -> List[float]:
+        """Per-sample cost (Fig. 7 trajectories)."""
+        return [s.cost for s in self._samples]
+
+    def best_feasible_cost_series(self) -> List[float]:
+        """Best feasible cost seen up to each sample (inf until one exists)."""
+        best = float("inf")
+        series: List[float] = []
+        for sample in self._samples:
+            if sample.feasible and sample.cost < best:
+                best = sample.cost
+            series.append(best)
+        return series
+
+    def best_feasible(self) -> Optional[Sample]:
+        """The cheapest feasible sample, if any."""
+        feasible = [s for s in self._samples if s.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda s: (s.cost, s.index))
+
+    def feasible_fraction(self) -> float:
+        """Fraction of samples that were feasible."""
+        if not self._samples:
+            return 0.0
+        return sum(1 for s in self._samples if s.feasible) / len(self._samples)
+
+    def cost_fluctuation_amplitude(self) -> float:
+        """Mean absolute difference between consecutive sample costs.
+
+        The paper reports this (normalised by the mean cost) as a measure of
+        the instability of Bayesian optimization in the decoupled space.
+        """
+        if len(self._samples) < 2:
+            return 0.0
+        costs = self.cost_series()
+        diffs = [abs(costs[i + 1] - costs[i]) for i in range(len(costs) - 1)]
+        return sum(diffs) / len(diffs)
+
+
+@dataclass
+class SearchResult:
+    """Final outcome of a configuration search."""
+
+    method: str
+    workflow_name: str
+    best_configuration: Optional[WorkflowConfiguration]
+    best_runtime_seconds: Optional[float]
+    best_cost: Optional[float]
+    slo: SLO
+    history: SearchHistory = field(default_factory=SearchHistory)
+
+    @property
+    def found_feasible(self) -> bool:
+        """Whether the search produced a configuration meeting the SLO."""
+        return self.best_configuration is not None
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples the search used."""
+        return self.history.sample_count
+
+    @property
+    def total_search_runtime_seconds(self) -> float:
+        """Total execution time spent sampling (Fig. 5a)."""
+        return self.history.total_runtime_seconds
+
+    @property
+    def total_search_cost(self) -> float:
+        """Total execution cost spent sampling (Fig. 5b)."""
+        return self.history.total_cost
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not self.found_feasible:
+            return (
+                f"{self.method} on {self.workflow_name}: no feasible configuration found "
+                f"after {self.sample_count} samples"
+            )
+        return (
+            f"{self.method} on {self.workflow_name}: cost={self.best_cost:.1f} "
+            f"runtime={self.best_runtime_seconds:.2f}s "
+            f"({self.sample_count} samples, "
+            f"search runtime {self.total_search_runtime_seconds:.1f}s, "
+            f"search cost {self.total_search_cost:.1f})"
+        )
+
+
+class WorkflowObjective:
+    """Sample-counting objective: execute the workflow, check the SLO, cost it.
+
+    Parameters
+    ----------
+    executor:
+        The execution simulator (or an adapter around a real platform).
+    workflow:
+        Workflow under configuration.
+    slo:
+        End-to-end latency objective.
+    input_scale:
+        Relative input size used for all evaluations (the input-aware engine
+        builds one objective per input class).
+    rng:
+        Optional random stream for execution noise during the search;
+        ``None`` keeps the search fully deterministic.
+    max_samples:
+        Hard cap on evaluations; further calls raise :class:`RuntimeError`.
+    """
+
+    def __init__(
+        self,
+        executor: WorkflowExecutor,
+        workflow: Workflow,
+        slo: SLO,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+        max_samples: Optional[int] = None,
+    ) -> None:
+        self.executor = executor
+        self.workflow = workflow
+        self.slo = slo
+        self.input_scale = float(input_scale)
+        self.rng = rng
+        self.max_samples = max_samples
+        self.history = SearchHistory()
+
+    @property
+    def function_names(self) -> List[str]:
+        """Function names of the workflow (insertion order)."""
+        return self.workflow.function_names
+
+    @property
+    def sample_count(self) -> int:
+        """Number of evaluations performed."""
+        return self.history.sample_count
+
+    def evaluate(
+        self, configuration: WorkflowConfiguration, phase: str = "search"
+    ) -> EvaluationResult:
+        """Execute the workflow once under ``configuration`` and record it."""
+        if self.max_samples is not None and self.history.sample_count >= self.max_samples:
+            raise RuntimeError(
+                f"sample budget exhausted ({self.max_samples} evaluations)"
+            )
+        sample_rng = (
+            self.rng.child("sample", self.history.sample_count) if self.rng is not None else None
+        )
+        trace = self.executor.execute(
+            self.workflow,
+            configuration,
+            input_scale=self.input_scale,
+            rng=sample_rng,
+        )
+        runtime = trace.end_to_end_latency
+        cost = trace.total_cost
+        result = EvaluationResult(
+            configuration=configuration,
+            runtime_seconds=runtime,
+            cost=cost,
+            slo_met=self.slo.is_met(runtime),
+            succeeded=trace.succeeded,
+            trace=trace,
+        )
+        self.history.record(result, phase=phase)
+        return result
+
+    def make_result(self, method: str, best: Optional[EvaluationResult]) -> SearchResult:
+        """Package a finished search into a :class:`SearchResult`."""
+        return SearchResult(
+            method=method,
+            workflow_name=self.workflow.name,
+            best_configuration=best.configuration if best is not None else None,
+            best_runtime_seconds=best.runtime_seconds if best is not None else None,
+            best_cost=best.cost if best is not None else None,
+            slo=self.slo,
+            history=self.history,
+        )
+
+
+class ConfigurationSearcher(abc.ABC):
+    """Common interface of AARC and the baseline search methods."""
+
+    #: Short name used in reports ("AARC", "BO", "MAFF", ...).
+    name: str = "searcher"
+
+    @abc.abstractmethod
+    def search(self, objective: WorkflowObjective) -> SearchResult:
+        """Run the search against an objective and return the result."""

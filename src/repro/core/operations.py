@@ -1,0 +1,140 @@
+"""Resource adjustment operations and the priority queue driving Algorithm 2.
+
+The Priority Configurator manages one *operation* per (function, resource
+type) pair.  An operation carries the current step size (the fraction of the
+resource it will try to remove next) and a trial budget; when a deallocation
+is rejected the step shrinks exponentially and the budget decreases, and when
+the budget reaches zero the operation retires.  Operations live in a maximum
+priority queue: fresh operations have infinite priority (explore everything
+once), rejected operations sink to priority zero, and successful operations
+are re-queued with the cost reduction they achieved as their priority so the
+most profitable knobs are revisited first.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ResourceType", "AdjustmentOperation", "OperationQueue"]
+
+
+class ResourceType(enum.Enum):
+    """Which resource an operation adjusts."""
+
+    CPU = "cpu"
+    MEMORY = "mem"
+
+
+@dataclass
+class AdjustmentOperation:
+    """A candidate "remove some of this function's CPU/memory" move.
+
+    Attributes
+    ----------
+    function_name:
+        The function whose allocation the operation adjusts.
+    resource_type:
+        CPU or memory.
+    step_fraction:
+        Fraction of the *current* allocation the next deallocation removes.
+    trials_remaining:
+        Remaining back-off budget (``FUNC_TRIAL`` in the paper); the operation
+        retires when it reaches zero.
+    attempts / accepted:
+        Counters kept for reporting and tests.
+    """
+
+    function_name: str
+    resource_type: ResourceType
+    step_fraction: float
+    trials_remaining: int
+    attempts: int = 0
+    accepted: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.step_fraction <= 1:
+            raise ValueError("step_fraction must lie in (0, 1]")
+        if self.trials_remaining < 0:
+            raise ValueError("trials_remaining cannot be negative")
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the operation has used up its trial budget."""
+        return self.trials_remaining <= 0
+
+    def record_attempt(self) -> None:
+        """Count one attempted deallocation."""
+        self.attempts += 1
+
+    def record_acceptance(self) -> None:
+        """Count one accepted deallocation."""
+        self.accepted += 1
+
+    def back_off(self, decay: float = 0.5) -> None:
+        """Apply exponential back-off after a rejected deallocation.
+
+        Halves (by default) the step size and consumes one trial — the
+        ``allocate(op)`` behaviour of Algorithm 2, line 15.
+        """
+        if not 0 < decay < 1:
+            raise ValueError("decay must lie in (0, 1)")
+        self.step_fraction = max(self.step_fraction * decay, 1e-6)
+        self.trials_remaining -= 1
+
+    def describe(self) -> str:
+        """Short human-readable description."""
+        return (
+            f"{self.function_name}/{self.resource_type.value} "
+            f"(step={self.step_fraction:.3f}, trials={self.trials_remaining})"
+        )
+
+
+class OperationQueue:
+    """Maximum priority queue of :class:`AdjustmentOperation` entries.
+
+    Ties are broken FIFO (by insertion counter) so the queue is fully
+    deterministic.  Priorities may be ``math.inf`` (fresh operations), any
+    non-negative float (cost reduction achieved) or zero (rejected but still
+    holding budget).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, AdjustmentOperation]] = []
+        self._counter = itertools.count()
+
+    def push(self, operation: AdjustmentOperation, priority: float = math.inf) -> None:
+        """Insert an operation with the given priority."""
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        heapq.heappush(self._heap, (-float(priority), next(self._counter), operation))
+
+    def pop(self) -> Tuple[AdjustmentOperation, float]:
+        """Remove and return the highest-priority operation and its priority."""
+        if not self._heap:
+            raise IndexError("pop from an empty OperationQueue")
+        negative_priority, _, operation = heapq.heappop(self._heap)
+        return operation, -negative_priority
+
+    def peek_priority(self) -> Optional[float]:
+        """Priority of the next operation to pop (None when empty)."""
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> List[AdjustmentOperation]:
+        """Remove and return all operations (highest priority first)."""
+        operations: List[AdjustmentOperation] = []
+        while self._heap:
+            operations.append(self.pop()[0])
+        return operations

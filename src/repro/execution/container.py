@@ -1,0 +1,155 @@
+"""Container and warm-pool model.
+
+Serverless platforms keep recently used containers warm for a keep-alive
+window; an invocation that finds a warm container with a matching resource
+configuration skips the cold start.  The pool here is intentionally simple —
+per (function, configuration) LRU with a fixed keep-alive — which is enough to
+study how often the configuration search pays cold starts and to support the
+request-stream simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.workflow.resources import ResourceConfig
+
+__all__ = ["Container", "ContainerPool"]
+
+
+@dataclass
+class Container:
+    """A (possibly warm) container bound to one function and configuration."""
+
+    container_id: int
+    function_name: str
+    config: ResourceConfig
+    created_at: float
+    last_used_at: float
+    invocations: int = 0
+    node_name: Optional[str] = None
+
+    def record_invocation(self, finish_time: float) -> None:
+        """Mark the container as used until ``finish_time``."""
+        if finish_time < self.last_used_at - 1e-9:
+            raise ValueError("finish_time cannot move backwards")
+        self.last_used_at = finish_time
+        self.invocations += 1
+
+    def is_warm_at(self, timestamp: float, keep_alive_seconds: float) -> bool:
+        """Whether the container is still warm at ``timestamp``."""
+        return timestamp - self.last_used_at <= keep_alive_seconds
+
+
+@dataclass
+class _PoolStats:
+    cold_starts: int = 0
+    warm_hits: int = 0
+    evictions: int = 0
+
+
+class ContainerPool:
+    """Warm-container pool keyed by (function, configuration).
+
+    Parameters
+    ----------
+    keep_alive_seconds:
+        How long an idle container stays warm.
+    max_containers_per_function:
+        Cap on simultaneously retained containers per function (oldest idle
+        containers are evicted first).
+    """
+
+    def __init__(
+        self,
+        keep_alive_seconds: float = 600.0,
+        max_containers_per_function: int = 16,
+    ) -> None:
+        if keep_alive_seconds < 0:
+            raise ValueError("keep_alive_seconds must be non-negative")
+        if max_containers_per_function < 1:
+            raise ValueError("max_containers_per_function must be at least 1")
+        self.keep_alive_seconds = float(keep_alive_seconds)
+        self.max_containers_per_function = int(max_containers_per_function)
+        self._containers: Dict[str, List[Container]] = {}
+        self._id_counter = itertools.count(1)
+        self._stats = _PoolStats()
+
+    # -- acquisition -----------------------------------------------------------
+    def acquire(
+        self, function_name: str, config: ResourceConfig, timestamp: float
+    ) -> Tuple[Container, bool]:
+        """Obtain a container for an invocation starting at ``timestamp``.
+
+        Returns ``(container, cold_start)``.  A warm container is reused only
+        when its configuration matches exactly (platforms recycle containers
+        per configuration revision).
+        """
+        self._evict_expired(function_name, timestamp)
+        pool = self._containers.setdefault(function_name, [])
+        for container in sorted(pool, key=lambda c: -c.last_used_at):
+            if container.config == config and container.is_warm_at(
+                timestamp, self.keep_alive_seconds
+            ):
+                self._stats.warm_hits += 1
+                return container, False
+        container = Container(
+            container_id=next(self._id_counter),
+            function_name=function_name,
+            config=config,
+            created_at=timestamp,
+            last_used_at=timestamp,
+        )
+        pool.append(container)
+        self._stats.cold_starts += 1
+        self._enforce_capacity(function_name)
+        return container, True
+
+    def release(self, container: Container, finish_time: float) -> None:
+        """Return a container to the pool after an invocation."""
+        container.record_invocation(finish_time)
+
+    # -- maintenance -----------------------------------------------------------
+    def _evict_expired(self, function_name: str, timestamp: float) -> None:
+        pool = self._containers.get(function_name, [])
+        kept = [c for c in pool if c.is_warm_at(timestamp, self.keep_alive_seconds)]
+        self._stats.evictions += len(pool) - len(kept)
+        self._containers[function_name] = kept
+
+    def _enforce_capacity(self, function_name: str) -> None:
+        pool = self._containers.get(function_name, [])
+        excess = len(pool) - self.max_containers_per_function
+        if excess > 0:
+            pool.sort(key=lambda c: c.last_used_at)
+            del pool[:excess]
+            self._stats.evictions += excess
+
+    def clear(self) -> None:
+        """Drop all containers (used between independent experiments)."""
+        self._containers.clear()
+
+    # -- inspection -----------------------------------------------------------
+    def warm_count(self, function_name: str, timestamp: float) -> int:
+        """Number of warm containers for a function at a point in time."""
+        return sum(
+            1
+            for c in self._containers.get(function_name, [])
+            if c.is_warm_at(timestamp, self.keep_alive_seconds)
+        )
+
+    @property
+    def cold_starts(self) -> int:
+        """Total cold starts paid since construction."""
+        return self._stats.cold_starts
+
+    @property
+    def warm_hits(self) -> int:
+        """Total warm-container reuses since construction."""
+        return self._stats.warm_hits
+
+    @property
+    def evictions(self) -> int:
+        """Total containers evicted (expiry + capacity)."""
+        return self._stats.evictions

@@ -1,0 +1,170 @@
+"""Execution trace records produced by the simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workflow.resources import ResourceConfig
+
+__all__ = ["ExecutionStatus", "FunctionExecution", "ExecutionTrace"]
+
+
+class ExecutionStatus(enum.Enum):
+    """Outcome of one function invocation."""
+
+    SUCCESS = "success"
+    OOM = "oom"
+    SKIPPED = "skipped"  # upstream failure prevented the invocation
+
+
+@dataclass(frozen=True)
+class FunctionExecution:
+    """One function invocation within a workflow execution.
+
+    Attributes
+    ----------
+    function_name:
+        Name of the invoked function.
+    config:
+        Resource allocation of the invocation's container.
+    start_time / finish_time:
+        Simulated wall-clock timestamps in seconds relative to the workflow
+        trigger; a skipped invocation has ``start_time == finish_time``.
+    runtime_seconds:
+        Billable duration (includes the cold start when one was paid).
+    cost:
+        Monetary cost of the invocation under the experiment's pricing model.
+    status:
+        Success / OOM / skipped.
+    cold_start:
+        Whether the invocation paid a container cold start.
+    cold_start_seconds:
+        The cold-start latency included in ``runtime_seconds``.
+    input_scale:
+        Relative input size used for this invocation.
+    """
+
+    function_name: str
+    config: ResourceConfig
+    start_time: float
+    finish_time: float
+    runtime_seconds: float
+    cost: float
+    status: ExecutionStatus = ExecutionStatus.SUCCESS
+    cold_start: bool = False
+    cold_start_seconds: float = 0.0
+    input_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.runtime_seconds < 0 or self.cost < 0:
+            raise ValueError("runtime_seconds and cost must be non-negative")
+        if self.finish_time + 1e-12 < self.start_time:
+            raise ValueError("finish_time cannot precede start_time")
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the invocation completed successfully."""
+        return self.status is ExecutionStatus.SUCCESS
+
+
+@dataclass
+class ExecutionTrace:
+    """Full record of one simulated workflow execution."""
+
+    workflow_name: str
+    records: Dict[str, FunctionExecution] = field(default_factory=dict)
+    input_scale: float = 1.0
+
+    def add(self, record: FunctionExecution) -> None:
+        """Append one function invocation record."""
+        if record.function_name in self.records:
+            raise ValueError(f"duplicate record for function {record.function_name!r}")
+        self.records[record.function_name] = record
+
+    # -- outcome -------------------------------------------------------------
+    @property
+    def succeeded(self) -> bool:
+        """Whether every function invocation succeeded."""
+        return bool(self.records) and all(r.succeeded for r in self.records.values())
+
+    @property
+    def failed_functions(self) -> List[str]:
+        """Names of functions that did not complete successfully."""
+        return [name for name, r in self.records.items() if not r.succeeded]
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Completion time of the last finishing function."""
+        if not self.records:
+            return 0.0
+        return max(r.finish_time for r in self.records.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of per-invocation costs."""
+        return sum(r.cost for r in self.records.values())
+
+    @property
+    def total_billed_seconds(self) -> float:
+        """Sum of billable durations across invocations."""
+        return sum(r.runtime_seconds for r in self.records.values())
+
+    @property
+    def cold_start_count(self) -> int:
+        """Number of invocations that paid a cold start."""
+        return sum(1 for r in self.records.values() if r.cold_start)
+
+    # -- views ---------------------------------------------------------------
+    def runtimes(self) -> Dict[str, float]:
+        """Per-function billable runtimes."""
+        return {name: r.runtime_seconds for name, r in self.records.items()}
+
+    def record(self, function_name: str) -> FunctionExecution:
+        """Look up the record of one function (KeyError if absent)."""
+        return self.records[function_name]
+
+    def function_names(self) -> List[str]:
+        """Functions appearing in the trace, ordered by start time."""
+        return [
+            name
+            for name, _ in sorted(
+                self.records.items(), key=lambda item: (item[1].start_time, item[0])
+            )
+        ]
+
+    def critical_path_estimate(self) -> List[str]:
+        """Functions whose finish time chain determines the latency.
+
+        Walks back from the last-finishing function through the predecessor
+        whose finish time equals this function's start time.  This is a trace
+        level approximation; the authoritative analysis lives in
+        :mod:`repro.core.critical_path`.
+        """
+        if not self.records:
+            return []
+        ordered = sorted(self.records.values(), key=lambda r: (r.finish_time, r.function_name))
+        path: List[str] = []
+        cursor: Optional[FunctionExecution] = ordered[-1]
+        while cursor is not None:
+            path.append(cursor.function_name)
+            if cursor.start_time <= 1e-12:
+                break
+            candidates = [
+                r
+                for r in self.records.values()
+                if abs(r.finish_time - cursor.start_time) <= 1e-9
+                and r.function_name != cursor.function_name
+            ]
+            cursor = min(candidates, key=lambda r: r.function_name) if candidates else None
+        path.reverse()
+        return path
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "ok" if self.succeeded else f"FAILED({','.join(self.failed_functions)})"
+        return (
+            f"{self.workflow_name}: latency={self.end_to_end_latency:.2f}s "
+            f"cost={self.total_cost:.1f} cold_starts={self.cold_start_count} [{status}]"
+        )

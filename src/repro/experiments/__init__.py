@@ -1,0 +1,68 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+Each module corresponds to one part of §II (motivation) or §IV (evaluation):
+
+* :mod:`repro.experiments.motivation` — Fig. 2 decoupling heat maps and the
+  Fig. 3 Bayesian-optimization search study.
+* :mod:`repro.experiments.search_experiment` — the configuration-search
+  comparison behind Fig. 5 (totals) and Figs. 6–7 (trajectories).
+* :mod:`repro.experiments.optimal_experiment` — Table II (average runtime and
+  cost of the discovered optimal configurations over repeated executions).
+* :mod:`repro.experiments.input_aware_experiment` — Fig. 8 (input-aware
+  configuration of the Video Analysis workflow).
+* :mod:`repro.experiments.reporting` — text rendering of the above.
+"""
+
+from repro.experiments.harness import (
+    ExperimentSettings,
+    make_methods,
+    make_searcher,
+    run_method_on_workload,
+)
+from repro.experiments.search_experiment import (
+    MethodRun,
+    SearchComparison,
+    run_search_comparison,
+)
+from repro.experiments.optimal_experiment import (
+    OptimalConfigurationStats,
+    evaluate_optimal_configurations,
+)
+from repro.experiments.motivation import (
+    DecouplingHeatmap,
+    bo_search_study,
+    decoupling_heatmap,
+)
+from repro.experiments.input_aware_experiment import (
+    InputAwareComparison,
+    run_input_aware_experiment,
+)
+from repro.experiments.reporting import (
+    render_heatmap,
+    render_input_aware,
+    render_search_totals,
+    render_table2,
+    render_trajectories,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "make_methods",
+    "make_searcher",
+    "run_method_on_workload",
+    "MethodRun",
+    "SearchComparison",
+    "run_search_comparison",
+    "OptimalConfigurationStats",
+    "evaluate_optimal_configurations",
+    "DecouplingHeatmap",
+    "decoupling_heatmap",
+    "bo_search_study",
+    "InputAwareComparison",
+    "run_input_aware_experiment",
+    "render_heatmap",
+    "render_search_totals",
+    "render_trajectories",
+    "render_table2",
+    "render_input_aware",
+]

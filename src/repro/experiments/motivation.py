@@ -1,0 +1,204 @@
+"""Motivation experiments (paper §II, Figs. 2 and 3).
+
+* :func:`decoupling_heatmap` sweeps a uniform decoupled (vCPU, memory) grid
+  over one workflow and records runtime and cost at every point — the data
+  behind the Fig. 2 heat maps showing that different workflows have different
+  resource affinities and that coupled allocation wastes money.
+* :func:`bo_search_study` replays the paper's §II-B study: run the adapted
+  Bayesian Optimization baseline on the Chatbot workflow for 100 rounds and
+  look at how (un)stable the sampled cost is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.objective import SearchResult, WorkflowObjective
+from repro.experiments.harness import ExperimentSettings
+from repro.optimizers.bayesian import BayesianOptimizer, BayesianOptimizerOptions
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.registry import get_workload
+
+__all__ = ["DecouplingHeatmap", "decoupling_heatmap", "bo_search_study", "BOSearchStudy"]
+
+
+@dataclass
+class DecouplingHeatmap:
+    """Runtime/cost surfaces over a uniform (vCPU, memory) grid (Fig. 2)."""
+
+    workload: str
+    vcpu_values: List[float]
+    memory_values_mb: List[float]
+    runtime_seconds: Dict[Tuple[float, float], float] = field(default_factory=dict)
+    cost: Dict[Tuple[float, float], float] = field(default_factory=dict)
+    feasible: Dict[Tuple[float, float], bool] = field(default_factory=dict)
+
+    def add_point(
+        self, vcpu: float, memory_mb: float, runtime: float, cost: float, feasible: bool
+    ) -> None:
+        """Record one grid point."""
+        key = (vcpu, memory_mb)
+        self.runtime_seconds[key] = runtime
+        self.cost[key] = cost
+        self.feasible[key] = feasible
+
+    def cheapest_point(self, require_feasible: bool = True) -> Tuple[float, float]:
+        """(vCPU, memory) of the cheapest grid point."""
+        candidates = [
+            key
+            for key in self.cost
+            if not require_feasible or self.feasible.get(key, False)
+        ]
+        if not candidates:
+            candidates = list(self.cost.keys())
+        return min(candidates, key=lambda key: self.cost[key])
+
+    def runtime_spread_over_memory(self, vcpu: float) -> float:
+        """Relative runtime variation across memory at a fixed vCPU.
+
+        Small values mean memory barely matters at that CPU level — the
+        paper's observation for Chatbot and ML Pipeline.
+        """
+        runtimes = [
+            runtime
+            for (cpu, _), runtime in self.runtime_seconds.items()
+            if abs(cpu - vcpu) < 1e-9
+        ]
+        if not runtimes:
+            raise KeyError(f"no grid column for vcpu={vcpu}")
+        low, high = min(runtimes), max(runtimes)
+        if high == 0:
+            return 0.0
+        return (high - low) / high
+
+    def memory_saving_vs_coupled(self, mb_per_vcpu: float = 1024.0) -> float:
+        """Memory saved by the cheapest decoupled point vs its coupled equivalent.
+
+        The paper highlights an 87.5 % memory reduction for the ML Pipeline
+        (4 vCPU with 512 MB instead of the coupled 4 096 MB).
+        """
+        vcpu, memory = self.cheapest_point()
+        coupled_memory = vcpu * mb_per_vcpu
+        if coupled_memory <= 0:
+            return 0.0
+        return max(0.0, 1.0 - memory / coupled_memory)
+
+
+def decoupling_heatmap(
+    workload_name: str,
+    vcpu_values: Optional[Sequence[float]] = None,
+    memory_values_mb: Optional[Sequence[float]] = None,
+    input_scale: Optional[float] = None,
+) -> DecouplingHeatmap:
+    """Sweep a uniform decoupled grid over one workload (one Fig. 2 panel).
+
+    Default grids follow the paper's panels: small workflows sweep 0.5–4
+    vCPUs and 512–2 048 MB, the Video Analysis panel sweeps 4–8 vCPUs and
+    5 120–8 192 MB.
+    """
+    workload = get_workload(workload_name)
+    if vcpu_values is None or memory_values_mb is None:
+        if workload.name == "video-analysis":
+            vcpu_values = vcpu_values or [4.0, 5.0, 6.0, 7.0, 8.0]
+            memory_values_mb = memory_values_mb or [5120.0, 6144.0, 7168.0, 8192.0]
+        else:
+            vcpu_values = vcpu_values or [0.5, 1.0, 2.0, 3.0, 4.0]
+            memory_values_mb = memory_values_mb or [512.0, 1024.0, 1536.0, 2048.0]
+
+    executor = workload.build_executor()
+    heatmap = DecouplingHeatmap(
+        workload=workload.name,
+        vcpu_values=list(vcpu_values),
+        memory_values_mb=list(memory_values_mb),
+    )
+    scale = input_scale if input_scale is not None else workload.default_input_scale
+    for vcpu in vcpu_values:
+        for memory in memory_values_mb:
+            configuration = WorkflowConfiguration.uniform(
+                workload.workflow.function_names,
+                ResourceConfig(vcpu=vcpu, memory_mb=memory),
+            )
+            trace = executor.execute(workload.workflow, configuration, input_scale=scale)
+            runtime = trace.end_to_end_latency
+            heatmap.add_point(
+                vcpu,
+                memory,
+                runtime=runtime,
+                cost=trace.total_cost,
+                feasible=trace.succeeded and workload.slo.is_met(runtime),
+            )
+    return heatmap
+
+
+@dataclass
+class BOSearchStudy:
+    """Outcome of the §II-B Bayesian-optimization motivation study (Fig. 3)."""
+
+    workload: str
+    result: SearchResult
+
+    @property
+    def sample_count(self) -> int:
+        """Number of BO samples taken."""
+        return self.result.sample_count
+
+    @property
+    def total_runtime_hours(self) -> float:
+        """Total sampling wall-clock time in hours (the paper reports 9.76 h)."""
+        return self.result.total_search_runtime_seconds / 3600.0
+
+    def cost_series(self) -> List[float]:
+        """Per-sample cost (the jagged Fig. 3 curve)."""
+        return self.result.history.cost_series()
+
+    def runtime_series(self) -> List[float]:
+        """Per-sample runtime."""
+        return self.result.history.runtime_series()
+
+    def cost_reduction(self) -> float:
+        """Relative reduction from the first sampled cost to the best found."""
+        costs = self.cost_series()
+        best = self.result.history.best_feasible()
+        if not costs or best is None or costs[0] == 0:
+            return 0.0
+        return 1.0 - best.cost / costs[0]
+
+    def relative_fluctuation(self) -> float:
+        """Mean absolute consecutive cost change divided by the mean cost.
+
+        The paper reports 18.3 % for the Chatbot study, evidence that BO is
+        unstable in the enlarged decoupled space.
+        """
+        costs = self.cost_series()
+        if len(costs) < 2:
+            return 0.0
+        mean_cost = sum(costs) / len(costs)
+        if mean_cost == 0:
+            return 0.0
+        return self.result.history.cost_fluctuation_amplitude() / mean_cost
+
+    def increase_fraction(self) -> float:
+        """Fraction of consecutive cost changes that are increases."""
+        costs = self.cost_series()
+        if len(costs) < 2:
+            return 0.0
+        increases = sum(1 for i in range(len(costs) - 1) if costs[i + 1] > costs[i])
+        return increases / (len(costs) - 1)
+
+
+def bo_search_study(
+    workload_name: str = "chatbot",
+    n_samples: int = 100,
+    settings: Optional[ExperimentSettings] = None,
+) -> BOSearchStudy:
+    """Run the Fig. 3 Bayesian-optimization study on one workload."""
+    settings = settings if settings is not None else ExperimentSettings()
+    workload: WorkloadSpec = get_workload(workload_name)
+    objective: WorkflowObjective = workload.build_objective()
+    optimizer = BayesianOptimizer(
+        options=BayesianOptimizerOptions(max_samples=n_samples, seed=settings.seed)
+    )
+    result = optimizer.search(objective)
+    return BOSearchStudy(workload=workload.name, result=result)

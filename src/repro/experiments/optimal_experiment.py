@@ -1,0 +1,145 @@
+"""Optimal-configuration evaluation (paper Table II).
+
+The paper validates the configurations discovered by each method by executing
+every workflow 100 times under its discovered configuration (on the real,
+noisy platform) and reporting the mean ± standard deviation of the runtime and
+the mean cost.  This experiment does the same against the simulator with a
+calibrated noise model, and additionally reports the SLO violation rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.objective import SearchResult
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.search_experiment import SearchComparison
+from repro.perfmodel.noise import LognormalNoise
+from repro.utils.rng import RngStream
+from repro.workflow.resources import WorkflowConfiguration
+from repro.workloads.registry import get_workload
+
+__all__ = ["OptimalConfigurationStats", "evaluate_optimal_configurations"]
+
+
+@dataclass(frozen=True)
+class OptimalConfigurationStats:
+    """Table II cell: repeated-execution statistics of one found configuration."""
+
+    workload: str
+    method: str
+    n_runs: int
+    mean_runtime_seconds: float
+    std_runtime_seconds: float
+    mean_cost: float
+    slo_violation_rate: float
+    slo_limit_seconds: float
+
+    @property
+    def meets_slo_on_average(self) -> bool:
+        """Whether the mean runtime satisfies the SLO."""
+        return self.mean_runtime_seconds <= self.slo_limit_seconds
+
+
+def _evaluate_configuration(
+    workload_name: str,
+    method: str,
+    configuration: WorkflowConfiguration,
+    n_runs: int,
+    noise_cv: float,
+    seed: int,
+) -> OptimalConfigurationStats:
+    workload = get_workload(workload_name)
+    executor = workload.build_executor(noise=LognormalNoise(noise_cv))
+    rng = RngStream(seed, f"table2/{workload_name}/{method}")
+    runtimes: List[float] = []
+    costs: List[float] = []
+    violations = 0
+    for run_index in range(n_runs):
+        trace = executor.execute(
+            workload.workflow,
+            configuration,
+            input_scale=workload.default_input_scale,
+            rng=rng.child("run", run_index),
+        )
+        runtime = trace.end_to_end_latency
+        runtimes.append(runtime)
+        costs.append(trace.total_cost)
+        if not workload.slo.is_met(runtime):
+            violations += 1
+    mean_runtime = sum(runtimes) / n_runs
+    variance = sum((r - mean_runtime) ** 2 for r in runtimes) / n_runs
+    return OptimalConfigurationStats(
+        workload=workload_name,
+        method=method,
+        n_runs=n_runs,
+        mean_runtime_seconds=mean_runtime,
+        std_runtime_seconds=math.sqrt(variance),
+        mean_cost=sum(costs) / n_runs,
+        slo_violation_rate=violations / n_runs,
+        slo_limit_seconds=workload.slo.latency_limit,
+    )
+
+
+def evaluate_optimal_configurations(
+    comparison: SearchComparison,
+    n_runs: int = 100,
+    noise_cv: float = 0.02,
+    settings: Optional[ExperimentSettings] = None,
+    workloads: Optional[Sequence[str]] = None,
+    methods: Optional[Sequence[str]] = None,
+) -> List[OptimalConfigurationStats]:
+    """Evaluate every discovered configuration ``n_runs`` times (Table II).
+
+    Parameters
+    ----------
+    comparison:
+        A finished search comparison (provides the configurations).
+    n_runs:
+        Repetitions per configuration (the paper uses 100).
+    noise_cv:
+        Coefficient of variation of the execution noise.
+    settings:
+        Experiment settings (only the seed is used here).
+    workloads / methods:
+        Optional filters; default to everything in the comparison.
+
+    Notes
+    -----
+    Methods that failed to find a feasible configuration are skipped (the
+    caller can detect this by the missing row).
+    """
+    settings = settings if settings is not None else comparison.settings
+    stats: List[OptimalConfigurationStats] = []
+    selected_workloads = list(workloads) if workloads is not None else comparison.workloads
+    for workload_name in selected_workloads:
+        method_names = (
+            list(methods) if methods is not None else comparison.methods(workload_name)
+        )
+        for method in method_names:
+            result: SearchResult = comparison.run(workload_name, method).result
+            if not result.found_feasible:
+                continue
+            stats.append(
+                _evaluate_configuration(
+                    workload_name,
+                    method,
+                    result.best_configuration,
+                    n_runs=n_runs,
+                    noise_cv=noise_cv,
+                    seed=settings.seed,
+                )
+            )
+    return stats
+
+
+def stats_by_workload(
+    stats: Sequence[OptimalConfigurationStats],
+) -> Dict[str, Dict[str, OptimalConfigurationStats]]:
+    """Index Table II rows by workload then method."""
+    indexed: Dict[str, Dict[str, OptimalConfigurationStats]] = {}
+    for row in stats:
+        indexed.setdefault(row.workload, {})[row.method] = row
+    return indexed

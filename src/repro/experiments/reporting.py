@@ -1,0 +1,174 @@
+"""Text rendering of the experiment outputs.
+
+Since the reproduction has no plotting dependency, every figure of the paper
+is emitted as a table or a numeric series.  Benchmarks print these renderings
+so the numbers behind each figure appear in the benchmark log and can be
+copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.input_aware_experiment import InputAwareComparison
+from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
+from repro.experiments.optimal_experiment import OptimalConfigurationStats
+from repro.experiments.search_experiment import SearchComparison
+from repro.utils.tables import Table, format_series
+
+__all__ = [
+    "render_heatmap",
+    "render_bo_study",
+    "render_search_totals",
+    "render_trajectories",
+    "render_table2",
+    "render_input_aware",
+]
+
+
+def render_heatmap(heatmap: DecouplingHeatmap) -> str:
+    """Render one Fig. 2 panel (runtime and cost per grid point)."""
+    table = Table(
+        ["vCPU", "memory_mb", "runtime_s", "cost", "feasible"],
+        precision=2,
+        title=f"Fig. 2 — decoupled sweep of {heatmap.workload}",
+    )
+    for vcpu in heatmap.vcpu_values:
+        for memory in heatmap.memory_values_mb:
+            key = (vcpu, memory)
+            table.add_row(
+                vcpu,
+                memory,
+                heatmap.runtime_seconds[key],
+                heatmap.cost[key],
+                "yes" if heatmap.feasible[key] else "no",
+            )
+    best_vcpu, best_memory = heatmap.cheapest_point()
+    footer = (
+        f"cheapest feasible point: {best_vcpu:g} vCPU / {best_memory:.0f} MB "
+        f"(memory saving vs coupled: {heatmap.memory_saving_vs_coupled() * 100:.1f}%)"
+    )
+    return table.render() + "\n" + footer
+
+
+def render_bo_study(study: BOSearchStudy) -> str:
+    """Render the Fig. 3 BO motivation study."""
+    lines = [
+        f"Fig. 3 — Bayesian Optimization search on {study.workload}",
+        f"  samples:              {study.sample_count}",
+        f"  total search runtime: {study.total_runtime_hours:.2f} h",
+        f"  cost reduction:       {study.cost_reduction() * 100:.1f}%",
+        f"  relative fluctuation: {study.relative_fluctuation() * 100:.1f}%",
+        f"  increasing changes:   {study.increase_fraction() * 100:.1f}%",
+        format_series(
+            "  cost trajectory",
+            list(range(study.sample_count)),
+            study.cost_series(),
+            x_label="sample",
+            y_label="cost",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_search_totals(comparison: SearchComparison) -> str:
+    """Render Fig. 5 (total sampling runtime and cost per workload/method)."""
+    table = Table(
+        ["workflow", "method", "samples", "total_runtime_s", "total_cost"],
+        precision=1,
+        title="Fig. 5 — total sampling runtime and cost",
+    )
+    for row in comparison.totals():
+        table.add_row(
+            row["workload"],
+            row["method"],
+            row["samples"],
+            row["total_runtime_seconds"],
+            row["total_cost"],
+        )
+    lines = [table.render()]
+    for workload in comparison.workloads:
+        for baseline in comparison.methods(workload):
+            if baseline == "AARC" or "AARC" not in comparison.methods(workload):
+                continue
+            runtime_change = -comparison.runtime_reduction_vs(workload, baseline) * 100
+            cost_change = -comparison.cost_reduction_vs(workload, baseline) * 100
+            lines.append(
+                f"  {workload}: AARC vs {baseline}: "
+                f"search runtime {runtime_change:+.1f}%, search cost {cost_change:+.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def render_trajectories(comparison: SearchComparison, kind: str = "runtime") -> str:
+    """Render Fig. 6 (``kind='runtime'``) or Fig. 7 (``kind='cost'``) series."""
+    if kind not in {"runtime", "cost"}:
+        raise ValueError("kind must be 'runtime' or 'cost'")
+    figure = "Fig. 6 — runtime vs sample count" if kind == "runtime" else "Fig. 7 — cost vs sample count"
+    lines: List[str] = [figure]
+    for workload in comparison.workloads:
+        for method in comparison.methods(workload):
+            run = comparison.run(workload, method)
+            series = run.runtime_trajectory() if kind == "runtime" else run.cost_trajectory()
+            lines.append(
+                format_series(
+                    f"  {workload}/{method}",
+                    list(range(len(series))),
+                    series,
+                    x_label="sample",
+                    y_label=kind,
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_table2(stats: Iterable[OptimalConfigurationStats]) -> str:
+    """Render Table II (mean ± std runtime and mean cost per configuration)."""
+    table = Table(
+        ["workflow", "method", "runtime_s (mean±std)", "cost", "SLO", "violations"],
+        precision=1,
+        title="Table II — average runtime and cost of the found configurations",
+    )
+    for row in stats:
+        table.add_row(
+            row.workload,
+            row.method,
+            f"{row.mean_runtime_seconds:.1f}±{row.std_runtime_seconds:.1f}",
+            row.mean_cost,
+            row.slo_limit_seconds,
+            f"{row.slo_violation_rate * 100:.0f}%",
+        )
+    return table.render()
+
+
+def render_input_aware(comparison: InputAwareComparison, classes: Optional[Sequence[str]] = None) -> str:
+    """Render Fig. 8 (per-request runtimes and per-class mean costs)."""
+    lines = [
+        f"Fig. 8 — input-aware configuration of {comparison.workload} "
+        f"(SLO {comparison.slo_limit_seconds:.0f}s)"
+    ]
+    for method in comparison.methods:
+        outcome = comparison.outcome(method)
+        lines.append(
+            format_series(
+                f"  runtime/{method}",
+                list(range(outcome.n_requests)),
+                outcome.runtimes_seconds,
+                x_label="request",
+                y_label="runtime_s",
+            )
+        )
+        lines.append(
+            f"    SLO violations: {outcome.violation_count()}/{outcome.n_requests}"
+        )
+    class_names = list(classes) if classes is not None else ["light", "middle", "heavy"]
+    table = Table(
+        ["method"] + [f"mean_cost[{c}]" for c in class_names],
+        precision=1,
+        title="  mean cost per input class",
+    )
+    for method in comparison.methods:
+        by_class = comparison.outcome(method).mean_cost_by_class()
+        table.add_row(method, *[by_class.get(c, float("nan")) for c in class_names])
+    lines.append(table.render())
+    return "\n".join(lines)

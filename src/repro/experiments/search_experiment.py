@@ -1,0 +1,149 @@
+"""Configuration-search comparison (paper Figs. 5, 6 and 7).
+
+For every (workload, method) pair this experiment runs the full configuration
+search and keeps the complete sample history, from which the paper's three
+search-efficiency views are derived:
+
+* **Fig. 5** — total sampling runtime and total sampling cost per method and
+  workload (the bars of Fig. 5a/5b);
+* **Fig. 6** — end-to-end runtime of each sampled configuration versus sample
+  count (per workload trajectories);
+* **Fig. 7** — cost of each sampled configuration versus sample count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.objective import SearchResult
+from repro.experiments.harness import (
+    DEFAULT_METHODS,
+    DEFAULT_WORKLOADS,
+    ExperimentSettings,
+    make_searcher,
+    _build_objective,
+)
+from repro.workloads.registry import get_workload
+
+__all__ = ["MethodRun", "SearchComparison", "run_search_comparison"]
+
+
+@dataclass
+class MethodRun:
+    """One method's search on one workload, plus derived series."""
+
+    workload: str
+    method: str
+    result: SearchResult
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples the search used."""
+        return self.result.sample_count
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        """Total sampling runtime (one Fig. 5a bar)."""
+        return self.result.total_search_runtime_seconds
+
+    @property
+    def total_cost(self) -> float:
+        """Total sampling cost (one Fig. 5b bar)."""
+        return self.result.total_search_cost
+
+    def runtime_trajectory(self) -> List[float]:
+        """Per-sample end-to-end runtime (one Fig. 6 series)."""
+        return self.result.history.runtime_series()
+
+    def cost_trajectory(self) -> List[float]:
+        """Per-sample cost (one Fig. 7 series)."""
+        return self.result.history.cost_series()
+
+    def best_cost_trajectory(self) -> List[float]:
+        """Best feasible cost discovered so far, per sample."""
+        return self.result.history.best_feasible_cost_series()
+
+
+@dataclass
+class SearchComparison:
+    """All method runs of the comparison, indexed by workload then method."""
+
+    settings: ExperimentSettings
+    runs: Dict[str, Dict[str, MethodRun]] = field(default_factory=dict)
+
+    def add(self, run: MethodRun) -> None:
+        """Record one method run."""
+        self.runs.setdefault(run.workload, {})[run.method] = run
+
+    def run(self, workload: str, method: str) -> MethodRun:
+        """Look up one run."""
+        return self.runs[workload][method]
+
+    @property
+    def workloads(self) -> List[str]:
+        """Workloads present in the comparison."""
+        return list(self.runs.keys())
+
+    def methods(self, workload: str) -> List[str]:
+        """Methods present for one workload."""
+        return list(self.runs[workload].keys())
+
+    # -- derived views ------------------------------------------------------------
+    def totals(self) -> List[Dict[str, object]]:
+        """Fig. 5 rows: one per (workload, method) with totals."""
+        rows: List[Dict[str, object]] = []
+        for workload, methods in self.runs.items():
+            for method, run in methods.items():
+                rows.append(
+                    {
+                        "workload": workload,
+                        "method": method,
+                        "samples": run.sample_count,
+                        "total_runtime_seconds": run.total_runtime_seconds,
+                        "total_cost": run.total_cost,
+                    }
+                )
+        return rows
+
+    def runtime_reduction_vs(self, workload: str, baseline: str, method: str = "AARC") -> float:
+        """Fractional reduction in total sampling runtime of ``method`` vs a baseline."""
+        ours = self.run(workload, method).total_runtime_seconds
+        theirs = self.run(workload, baseline).total_runtime_seconds
+        if theirs == 0:
+            return 0.0
+        return 1.0 - ours / theirs
+
+    def cost_reduction_vs(self, workload: str, baseline: str, method: str = "AARC") -> float:
+        """Fractional reduction in total sampling cost of ``method`` vs a baseline."""
+        ours = self.run(workload, method).total_cost
+        theirs = self.run(workload, baseline).total_cost
+        if theirs == 0:
+            return 0.0
+        return 1.0 - ours / theirs
+
+    def best_cost_reduction_vs(self, workload: str, baseline: str, method: str = "AARC") -> float:
+        """Fractional reduction of the *found configuration's* cost vs a baseline."""
+        ours = self.run(workload, method).result.best_cost
+        theirs = self.run(workload, baseline).result.best_cost
+        if ours is None or theirs is None or theirs == 0:
+            return 0.0
+        return 1.0 - ours / theirs
+
+
+def run_search_comparison(
+    workloads: Sequence[str] = tuple(DEFAULT_WORKLOADS),
+    methods: Sequence[str] = tuple(DEFAULT_METHODS),
+    settings: Optional[ExperimentSettings] = None,
+) -> SearchComparison:
+    """Run every method on every workload and collect the comparison."""
+    settings = settings if settings is not None else ExperimentSettings()
+    comparison = SearchComparison(settings=settings)
+    for workload_name in workloads:
+        workload = get_workload(workload_name)
+        for method in methods:
+            searcher = make_searcher(method, workload, settings)
+            objective = _build_objective(workload, settings)
+            result = searcher.search(objective)
+            comparison.add(MethodRun(workload=workload_name, method=method, result=result))
+    return comparison

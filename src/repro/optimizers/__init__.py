@@ -1,0 +1,38 @@
+"""Baseline configuration-search methods.
+
+The paper compares AARC against two adapted baselines: Bayesian Optimization
+over the decoupled per-function space (Bilal et al.) and MAFF gradient
+descent over coupled, memory-centric configurations (Zubko et al.).  Random
+and exhaustive grid search are included as additional reference points and
+for motivation-style sweeps.
+"""
+
+from repro.optimizers.gp import GaussianProcessRegressor, Matern52Kernel, RBFKernel
+from repro.optimizers.acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+)
+from repro.optimizers.bayesian import BayesianOptimizer, BayesianOptimizerOptions
+from repro.optimizers.maff import MAFFOptimizer, MAFFOptions
+from repro.optimizers.random_search import RandomSearchOptimizer, RandomSearchOptions
+from repro.optimizers.grid import GridSearchOptimizer, GridSearchOptions
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "RBFKernel",
+    "Matern52Kernel",
+    "AcquisitionFunction",
+    "ExpectedImprovement",
+    "ProbabilityOfImprovement",
+    "LowerConfidenceBound",
+    "BayesianOptimizer",
+    "BayesianOptimizerOptions",
+    "MAFFOptimizer",
+    "MAFFOptions",
+    "RandomSearchOptimizer",
+    "RandomSearchOptions",
+    "GridSearchOptimizer",
+    "GridSearchOptions",
+]

@@ -1,0 +1,92 @@
+"""Acquisition functions for Bayesian optimisation (minimisation convention).
+
+All acquisition values are defined so that *larger is better*: the optimizer
+evaluates candidates, scores them with the acquisition function and samples
+the arg-max next.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+from scipy import stats
+
+from repro.optimizers.gp import GaussianProcessRegressor
+
+__all__ = [
+    "AcquisitionFunction",
+    "ExpectedImprovement",
+    "ProbabilityOfImprovement",
+    "LowerConfidenceBound",
+]
+
+
+class AcquisitionFunction(abc.ABC):
+    """Scores candidate points given a fitted GP surrogate."""
+
+    @abc.abstractmethod
+    def score(
+        self, model: GaussianProcessRegressor, candidates: np.ndarray, best_observed: float
+    ) -> np.ndarray:
+        """Return one score per candidate row (higher = more promising)."""
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """Expected improvement over the incumbent for a minimisation problem."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ValueError("xi must be non-negative")
+        self.xi = float(xi)
+
+    def score(
+        self, model: GaussianProcessRegressor, candidates: np.ndarray, best_observed: float
+    ) -> np.ndarray:
+        mean, std = model.predict(candidates, return_std=True)
+        std = np.maximum(std, 1e-12)
+        improvement = best_observed - mean - self.xi
+        z = improvement / std
+        ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+        return np.maximum(ei, 0.0)
+
+    def __repr__(self) -> str:
+        return f"ExpectedImprovement(xi={self.xi})"
+
+
+class ProbabilityOfImprovement(AcquisitionFunction):
+    """Probability of improving on the incumbent (minimisation)."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ValueError("xi must be non-negative")
+        self.xi = float(xi)
+
+    def score(
+        self, model: GaussianProcessRegressor, candidates: np.ndarray, best_observed: float
+    ) -> np.ndarray:
+        mean, std = model.predict(candidates, return_std=True)
+        std = np.maximum(std, 1e-12)
+        z = (best_observed - mean - self.xi) / std
+        return stats.norm.cdf(z)
+
+    def __repr__(self) -> str:
+        return f"ProbabilityOfImprovement(xi={self.xi})"
+
+
+class LowerConfidenceBound(AcquisitionFunction):
+    """Negative lower confidence bound (minimisation): ``-(mean - κ·std)``."""
+
+    def __init__(self, kappa: float = 2.0) -> None:
+        if kappa < 0:
+            raise ValueError("kappa must be non-negative")
+        self.kappa = float(kappa)
+
+    def score(
+        self, model: GaussianProcessRegressor, candidates: np.ndarray, best_observed: float
+    ) -> np.ndarray:
+        mean, std = model.predict(candidates, return_std=True)
+        return -(mean - self.kappa * std)
+
+    def __repr__(self) -> str:
+        return f"LowerConfidenceBound(kappa={self.kappa})"

@@ -1,0 +1,167 @@
+"""Gaussian-process regression used by the Bayesian Optimization baseline.
+
+A small, dependency-light implementation (numpy + scipy linear algebra is all
+it needs): stationary kernels (RBF and Matérn 5/2), exact GP posterior with a
+jitter-stabilised Cholesky factorisation, and input/output normalisation so
+hyper-parameters behave across very differently scaled objectives (workflow
+costs span several orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["RBFKernel", "Matern52Kernel", "GaussianProcessRegressor"]
+
+
+class Kernel(abc.ABC):
+    """Stationary covariance function interface."""
+
+    @abc.abstractmethod
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Covariance matrix between row-stacked inputs ``a`` and ``b``."""
+
+
+def _pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    a_sq = np.sum(a**2, axis=1)[:, None]
+    b_sq = np.sum(b**2, axis=1)[None, :]
+    sq = a_sq + b_sq - 2.0 * a @ b.T
+    return np.maximum(sq, 0.0)
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``σ² · exp(-d² / 2ℓ²)``."""
+
+    def __init__(self, length_scale: float = 0.2, signal_variance: float = 1.0) -> None:
+        if length_scale <= 0 or signal_variance <= 0:
+            raise ValueError("length_scale and signal_variance must be positive")
+        self.length_scale = float(length_scale)
+        self.signal_variance = float(signal_variance)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(a, b)
+        return self.signal_variance * np.exp(-0.5 * sq / self.length_scale**2)
+
+    def __repr__(self) -> str:
+        return f"RBFKernel(length_scale={self.length_scale}, signal_variance={self.signal_variance})"
+
+
+class Matern52Kernel(Kernel):
+    """Matérn 5/2 kernel, a common default for noisy black-box optimisation."""
+
+    def __init__(self, length_scale: float = 0.2, signal_variance: float = 1.0) -> None:
+        if length_scale <= 0 or signal_variance <= 0:
+            raise ValueError("length_scale and signal_variance must be positive")
+        self.length_scale = float(length_scale)
+        self.signal_variance = float(signal_variance)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        dists = np.sqrt(_pairwise_sq_dists(a, b))
+        scaled = np.sqrt(5.0) * dists / self.length_scale
+        return self.signal_variance * (1.0 + scaled + scaled**2 / 3.0) * np.exp(-scaled)
+
+    def __repr__(self) -> str:
+        return (
+            f"Matern52Kernel(length_scale={self.length_scale}, "
+            f"signal_variance={self.signal_variance})"
+        )
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression with observation noise and output normalisation."""
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise_variance: float = 1e-6,
+        normalize_y: bool = True,
+    ) -> None:
+        if noise_variance < 0:
+            raise ValueError("noise_variance must be non-negative")
+        self.kernel = kernel if kernel is not None else Matern52Kernel()
+        self.noise_variance = float(noise_variance)
+        self.normalize_y = bool(normalize_y)
+        self._x_train: Optional[np.ndarray] = None
+        self._y_train: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._cholesky: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called with at least one sample."""
+        return self._x_train is not None and len(self._x_train) > 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Condition the GP on observations ``(x, y)``.
+
+        Parameters
+        ----------
+        x:
+            Array of shape ``(n, d)`` of normalised inputs.
+        y:
+            Array of shape ``(n,)`` of observed objective values.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(x) != len(y):
+            raise ValueError("x and y must have matching first dimensions")
+        if len(x) == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+
+        self._x_train = x
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y))
+            self._y_std = float(np.std(y))
+            if self._y_std < 1e-12:
+                self._y_std = 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._y_train = (y - self._y_mean) / self._y_std
+
+        gram = self.kernel(x, x)
+        jitter = self.noise_variance
+        identity = np.eye(len(x))
+        for _ in range(8):
+            try:
+                self._cholesky = linalg.cholesky(gram + jitter * identity, lower=True)
+                break
+            except linalg.LinAlgError:
+                jitter = max(jitter * 10.0, 1e-10)
+        else:  # pragma: no cover - pathological conditioning
+            raise linalg.LinAlgError("could not factorise the GP covariance matrix")
+        self._alpha = linalg.cho_solve((self._cholesky, True), self._y_train)
+        return self
+
+    def predict(self, x: np.ndarray, return_std: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean (and standard deviation) at query points ``x``."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        cross = self.kernel(x, self._x_train)
+        mean = cross @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean, np.zeros_like(mean)
+        v = linalg.solve_triangular(self._cholesky, cross.T, lower=True)
+        prior_var = np.diag(self.kernel(x, x))
+        variance = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
+        std = np.sqrt(variance) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood of the training data (model-fit diagnostic)."""
+        if not self.is_fitted:
+            raise RuntimeError("log_marginal_likelihood() called before fit()")
+        n = len(self._y_train)
+        data_fit = -0.5 * float(self._y_train @ self._alpha)
+        complexity = -float(np.sum(np.log(np.diag(self._cholesky))))
+        normaliser = -0.5 * n * float(np.log(2.0 * np.pi))
+        return data_fit + complexity + normaliser

@@ -1,0 +1,91 @@
+"""Uniform grid sweep over (vCPU, memory) pairs.
+
+Applies the *same* configuration to every function of the workflow and sweeps
+a coarse grid of (vCPU, memory) pairs.  This is how the paper's motivation
+study (Fig. 2) produces its runtime/cost heat maps, and it doubles as an
+exhaustive-search reference for small grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.objective import (
+    ConfigurationSearcher,
+    EvaluationResult,
+    SearchResult,
+    WorkflowObjective,
+)
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+
+__all__ = ["GridSearchOptions", "GridSearchOptimizer"]
+
+
+@dataclass(frozen=True)
+class GridSearchOptions:
+    """Tunables of the grid sweep.
+
+    Attributes
+    ----------
+    vcpu_values:
+        CPU grid points; defaults to the coarse grid of the paper's Fig. 2
+        (0.5, 1, 2, 3, 4 cores).
+    memory_values_mb:
+        Memory grid points; defaults to 512–2 048 MB in power-of-two-ish steps.
+    require_feasible:
+        When True only SLO-compliant points can become the reported best.
+    """
+
+    vcpu_values: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0)
+    memory_values_mb: Tuple[float, ...] = (512.0, 1024.0, 1536.0, 2048.0)
+    require_feasible: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.vcpu_values or not self.memory_values_mb:
+            raise ValueError("grid values must be non-empty")
+
+
+class GridSearchOptimizer(ConfigurationSearcher):
+    """Sweep uniform workflow configurations over a (vCPU, memory) grid."""
+
+    name = "Grid"
+
+    def __init__(
+        self,
+        config_space: Optional[ConfigurationSpace] = None,
+        options: Optional[GridSearchOptions] = None,
+    ) -> None:
+        self.config_space = config_space if config_space is not None else ConfigurationSpace()
+        self.options = options if options is not None else GridSearchOptions()
+
+    def search(self, objective: WorkflowObjective) -> SearchResult:
+        """Evaluate every grid point; best feasible (or cheapest) point wins."""
+        best: Optional[EvaluationResult] = None
+        for result in self.sweep(objective):
+            if self.options.require_feasible and not result.feasible:
+                continue
+            if best is None or result.cost < best.cost:
+                best = result
+        return objective.make_result(self.name, best)
+
+    def sweep(self, objective: WorkflowObjective) -> List[EvaluationResult]:
+        """Evaluate the whole grid and return every result (for heat maps)."""
+        results: List[EvaluationResult] = []
+        for vcpu in self.options.vcpu_values:
+            for memory in self.options.memory_values_mb:
+                config = self.config_space.snap(ResourceConfig(vcpu=vcpu, memory_mb=memory))
+                configuration = WorkflowConfiguration.uniform(
+                    objective.function_names, config
+                )
+                results.append(objective.evaluate(configuration, phase="grid"))
+        return results
+
+    def grid_points(self) -> Sequence[Tuple[float, float]]:
+        """All (vCPU, memory) pairs of the sweep in evaluation order."""
+        return [
+            (vcpu, memory)
+            for vcpu in self.options.vcpu_values
+            for memory in self.options.memory_values_mb
+        ]

@@ -1,0 +1,47 @@
+"""Per-function performance models.
+
+The original paper measures real containerised functions on a 96-core host.
+This reproduction replaces those measurements with analytic performance
+models that expose the same observable — a per-function runtime as a function
+of the decoupled (vCPU, memory) allocation and of the input size — and that
+encode the resource *affinities* the paper reports (CPU-hungry, memory-hungry
+or IO-bound behaviour, memory working sets, diminishing returns from extra
+cores).
+"""
+
+from repro.perfmodel.base import (
+    FunctionPerformanceModel,
+    OutOfMemoryError,
+    PerformanceModel,
+    RuntimeEstimate,
+)
+from repro.perfmodel.analytic import AnalyticFunctionModel, FunctionProfile
+from repro.perfmodel.noise import GaussianNoise, LognormalNoise, NoNoise, NoiseModel
+from repro.perfmodel.profiles import (
+    cpu_bound_profile,
+    io_bound_profile,
+    memory_bound_profile,
+    balanced_profile,
+)
+from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.perfmodel.calibration import CalibrationSample, fit_profile
+
+__all__ = [
+    "PerformanceModel",
+    "FunctionPerformanceModel",
+    "RuntimeEstimate",
+    "OutOfMemoryError",
+    "FunctionProfile",
+    "AnalyticFunctionModel",
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "LognormalNoise",
+    "PerformanceModelRegistry",
+    "cpu_bound_profile",
+    "io_bound_profile",
+    "memory_bound_profile",
+    "balanced_profile",
+    "CalibrationSample",
+    "fit_profile",
+]

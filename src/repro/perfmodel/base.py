@@ -1,0 +1,141 @@
+"""Interfaces shared by all performance models."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import RngStream
+from repro.workflow.resources import ResourceConfig
+
+__all__ = [
+    "OutOfMemoryError",
+    "RuntimeEstimate",
+    "FunctionPerformanceModel",
+    "PerformanceModel",
+]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a function's memory allocation is below its working set.
+
+    The execution simulator converts this into a failed invocation; the
+    Priority Configurator treats it as "encounters an error" and reverts the
+    offending deallocation (Algorithm 2, line 14).
+    """
+
+    def __init__(self, function_name: str, memory_mb: float, working_set_mb: float) -> None:
+        super().__init__(
+            f"function {function_name!r} needs {working_set_mb:.0f} MB "
+            f"but was allocated {memory_mb:.0f} MB"
+        )
+        self.function_name = function_name
+        self.memory_mb = memory_mb
+        self.working_set_mb = working_set_mb
+
+
+@dataclass(frozen=True)
+class RuntimeEstimate:
+    """Breakdown of a single function invocation's predicted runtime.
+
+    Attributes
+    ----------
+    total_seconds:
+        Wall-clock runtime of the invocation (noise already applied).
+    cpu_seconds:
+        Portion attributable to computation (after CPU scaling).
+    io_seconds:
+        Portion attributable to I/O and remote-storage access.
+    memory_penalty:
+        Multiplicative slowdown caused by memory pressure (1.0 = none).
+    noise_factor:
+        Multiplicative stochastic factor applied on top of the deterministic
+        prediction (1.0 when noise is disabled).
+    """
+
+    total_seconds: float
+    cpu_seconds: float
+    io_seconds: float
+    memory_penalty: float = 1.0
+    noise_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.total_seconds < 0:
+            raise ValueError("total_seconds cannot be negative")
+
+
+class FunctionPerformanceModel(abc.ABC):
+    """Performance model of a single serverless function."""
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        config: ResourceConfig,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> RuntimeEstimate:
+        """Predict the runtime of one invocation.
+
+        Parameters
+        ----------
+        config:
+            Decoupled (vCPU, memory) allocation of the function's container.
+        input_scale:
+            Relative input size (1.0 = the profiling input).
+        rng:
+            Optional random stream for run-to-run noise; omit for the
+            deterministic expectation.
+
+        Raises
+        ------
+        OutOfMemoryError
+            If the allocation cannot hold the function's working set.
+        """
+
+    @abc.abstractmethod
+    def minimum_memory_mb(self, input_scale: float = 1.0) -> float:
+        """Smallest memory allocation that avoids an OOM for this input."""
+
+    def runtime(
+        self,
+        config: ResourceConfig,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> float:
+        """Convenience wrapper returning only the total runtime in seconds."""
+        return self.estimate(config, input_scale=input_scale, rng=rng).total_seconds
+
+
+class PerformanceModel(abc.ABC):
+    """Performance model covering all functions of a workflow.
+
+    Implementations map function names to per-function models; the execution
+    simulator only talks to this interface.
+    """
+
+    @abc.abstractmethod
+    def function_model(self, function_name: str) -> FunctionPerformanceModel:
+        """Return the model of one function (KeyError if unknown)."""
+
+    def estimate(
+        self,
+        function_name: str,
+        config: ResourceConfig,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> RuntimeEstimate:
+        """Predict one invocation of ``function_name``."""
+        return self.function_model(function_name).estimate(
+            config, input_scale=input_scale, rng=rng
+        )
+
+    def runtime(
+        self,
+        function_name: str,
+        config: ResourceConfig,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> float:
+        """Predict only the total runtime of one invocation."""
+        return self.estimate(function_name, config, input_scale=input_scale, rng=rng).total_seconds

@@ -1,0 +1,130 @@
+"""Convenience constructors for common function affinity classes.
+
+The paper's key observation is that different workflows (and stages within a
+workflow) have different *resource affinities*: some are CPU-hungry and barely
+touch memory, some need a large working set, some are dominated by I/O to
+remote storage.  These helpers build :class:`FunctionProfile` instances with
+representative parameters for each class, so workloads and tests can compose
+realistic workflows succinctly.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.analytic import FunctionProfile
+
+__all__ = [
+    "cpu_bound_profile",
+    "memory_bound_profile",
+    "io_bound_profile",
+    "balanced_profile",
+]
+
+
+def cpu_bound_profile(
+    name: str,
+    cpu_seconds: float,
+    working_set_mb: float = 192.0,
+    parallel_fraction: float = 0.85,
+    max_parallelism: float = 8.0,
+    io_seconds: float = 0.5,
+    cpu_input_exponent: float = 1.0,
+) -> FunctionProfile:
+    """A compute-dominated function (e.g. model training, PCA).
+
+    Benefits strongly from extra vCPUs, needs little memory beyond its
+    working set — the ML Pipeline affinity from the paper.
+    """
+    return FunctionProfile(
+        name=name,
+        cpu_seconds=cpu_seconds,
+        io_seconds=io_seconds,
+        parallel_fraction=parallel_fraction,
+        max_parallelism=max_parallelism,
+        working_set_mb=working_set_mb,
+        comfortable_memory_mb=working_set_mb * 1.5,
+        memory_pressure_penalty=0.15,
+        cpu_input_exponent=cpu_input_exponent,
+        io_input_exponent=0.5,
+        memory_input_exponent=0.2,
+        tags=("cpu-bound",),
+    )
+
+
+def memory_bound_profile(
+    name: str,
+    cpu_seconds: float,
+    working_set_mb: float,
+    parallel_fraction: float = 0.75,
+    max_parallelism: float = 10.0,
+    io_seconds: float = 1.0,
+    memory_input_exponent: float = 0.8,
+) -> FunctionProfile:
+    """A function with a large, input-dependent working set (e.g. video frames).
+
+    Needs both cores and memory — the Video Analysis affinity from the paper.
+    """
+    return FunctionProfile(
+        name=name,
+        cpu_seconds=cpu_seconds,
+        io_seconds=io_seconds,
+        parallel_fraction=parallel_fraction,
+        max_parallelism=max_parallelism,
+        working_set_mb=working_set_mb,
+        comfortable_memory_mb=working_set_mb * 1.4,
+        memory_pressure_penalty=0.5,
+        cpu_input_exponent=1.0,
+        io_input_exponent=0.8,
+        memory_input_exponent=memory_input_exponent,
+        tags=("memory-bound",),
+    )
+
+
+def io_bound_profile(
+    name: str,
+    io_seconds: float,
+    cpu_seconds: float = 1.0,
+    working_set_mb: float = 128.0,
+) -> FunctionProfile:
+    """A function dominated by remote-storage / network time (e.g. the Chatbot
+    stages that read and write intent data).
+
+    Extra cores or memory barely change its runtime, so the cheapest viable
+    allocation is optimal — the Chatbot affinity from the paper.
+    """
+    return FunctionProfile(
+        name=name,
+        cpu_seconds=cpu_seconds,
+        io_seconds=io_seconds,
+        parallel_fraction=0.3,
+        max_parallelism=2.0,
+        working_set_mb=working_set_mb,
+        comfortable_memory_mb=working_set_mb * 1.5,
+        memory_pressure_penalty=0.1,
+        cpu_input_exponent=0.8,
+        io_input_exponent=1.0,
+        memory_input_exponent=0.1,
+        tags=("io-bound",),
+    )
+
+
+def balanced_profile(
+    name: str,
+    cpu_seconds: float,
+    io_seconds: float,
+    working_set_mb: float = 256.0,
+) -> FunctionProfile:
+    """A function that uses CPU, I/O and memory in comparable proportions."""
+    return FunctionProfile(
+        name=name,
+        cpu_seconds=cpu_seconds,
+        io_seconds=io_seconds,
+        parallel_fraction=0.6,
+        max_parallelism=4.0,
+        working_set_mb=working_set_mb,
+        comfortable_memory_mb=working_set_mb * 2.0,
+        memory_pressure_penalty=0.3,
+        cpu_input_exponent=1.0,
+        io_input_exponent=1.0,
+        memory_input_exponent=0.5,
+        tags=("balanced",),
+    )

@@ -1,0 +1,85 @@
+"""Registry mapping workflow functions to their performance models."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.perfmodel.analytic import AnalyticFunctionModel, FunctionProfile
+from repro.perfmodel.base import FunctionPerformanceModel, PerformanceModel
+from repro.perfmodel.noise import NoiseModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["PerformanceModelRegistry"]
+
+
+class PerformanceModelRegistry(PerformanceModel):
+    """A :class:`PerformanceModel` backed by a name → model dictionary.
+
+    Typically built from :class:`FunctionProfile` objects via
+    :meth:`from_profiles`, but arbitrary :class:`FunctionPerformanceModel`
+    implementations can be registered (tests use hand-written stubs).
+    """
+
+    def __init__(self, models: Optional[Mapping[str, FunctionPerformanceModel]] = None) -> None:
+        self._models: Dict[str, FunctionPerformanceModel] = dict(models or {})
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: Iterable[FunctionProfile],
+        noise: Optional[NoiseModel] = None,
+    ) -> "PerformanceModelRegistry":
+        """Build a registry of analytic models, one per profile."""
+        registry = cls()
+        for profile in profiles:
+            registry.register(profile.name, AnalyticFunctionModel(profile, noise=noise))
+        return registry
+
+    def register(self, function_name: str, model: FunctionPerformanceModel) -> None:
+        """Register (or replace) the model for one function."""
+        if not function_name:
+            raise ValueError("function_name must be non-empty")
+        self._models[function_name] = model
+
+    def function_model(self, function_name: str) -> FunctionPerformanceModel:
+        try:
+            return self._models[function_name]
+        except KeyError:
+            raise KeyError(
+                f"no performance model registered for function {function_name!r}"
+            ) from None
+
+    def __contains__(self, function_name: str) -> bool:
+        return function_name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def function_names(self):
+        """Names of all registered functions."""
+        return list(self._models.keys())
+
+    def covers(self, workflow: Workflow) -> bool:
+        """Whether every function of ``workflow`` has a registered model."""
+        return all(spec.profile_name in self._models for spec in workflow.functions)
+
+    def missing_for(self, workflow: Workflow):
+        """Profile names required by ``workflow`` but not registered."""
+        return [
+            spec.profile_name
+            for spec in workflow.functions
+            if spec.profile_name not in self._models
+        ]
+
+    def with_noise(self, noise: NoiseModel) -> "PerformanceModelRegistry":
+        """Return a copy whose analytic models use a different noise model.
+
+        Non-analytic models are carried over unchanged.
+        """
+        replaced: Dict[str, FunctionPerformanceModel] = {}
+        for name, model in self._models.items():
+            if isinstance(model, AnalyticFunctionModel):
+                replaced[name] = AnalyticFunctionModel(model.profile, noise=noise)
+            else:
+                replaced[name] = model
+        return PerformanceModelRegistry(replaced)

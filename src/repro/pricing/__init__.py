@@ -1,0 +1,21 @@
+"""Serverless pricing models.
+
+Implements the paper's decoupled extension of AWS Lambda pricing
+(``cost = t · (µ0·cpu + µ1·mem) + µ2``) plus coupled presets resembling the
+memory-centric schemes of mainstream platforms, so coupled baselines (MAFF)
+and decoupled methods (AARC, BO) can be costed consistently.
+"""
+
+from repro.pricing.model import (
+    PricingModel,
+    PAPER_PRICING,
+    aws_lambda_like_pricing,
+    coupled_memory_pricing,
+)
+
+__all__ = [
+    "PricingModel",
+    "PAPER_PRICING",
+    "aws_lambda_like_pricing",
+    "coupled_memory_pricing",
+]

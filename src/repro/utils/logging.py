@@ -1,0 +1,40 @@
+"""Thin logging facade.
+
+Keeps logger configuration in one place so library modules never call
+``logging.basicConfig`` themselves (which would clobber the host
+application's configuration).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy."""
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the verbosity of the library's root logger.
+
+    Attaches a stream handler on first use so examples and benchmarks can opt
+    into console output with one call.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,113 @@
+"""Plain-text table and series rendering used by the experiment harness.
+
+The reproduction has no plotting dependency; figures from the paper are
+reproduced as numeric series and tables printed by the benchmark harness and
+recorded in EXPERIMENTS.md.  This module renders them readably.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_series"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A simple column-aligned ASCII table builder."""
+
+    def __init__(self, columns: Sequence[str], precision: int = 3, title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.precision = int(precision)
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; the number of values must match the columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([_format_cell(v, self.precision) for v in values])
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append multiple rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows currently in the table."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+            return "| " + " | ".join(padded) + " |"
+
+        separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_row(self.columns))
+        lines.append(separator)
+        for row in self._rows:
+            lines.append(render_row(row))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        lines = [",".join(self.columns)]
+        for row in self._rows:
+            lines.append(",".join(cell.replace(",", ";") for cell in row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 25,
+    precision: int = 3,
+) -> str:
+    """Format a numeric (x, y) series compactly for console output.
+
+    Long series are down-sampled to at most ``max_points`` evenly spaced
+    points (always keeping the first and last) so trajectory benches remain
+    readable.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) == 0:
+        return f"{name}: (empty series)"
+    indices = list(range(len(xs)))
+    if len(indices) > max_points:
+        step = (len(indices) - 1) / (max_points - 1)
+        indices = sorted({int(round(i * step)) for i in range(max_points)})
+    pairs = ", ".join(
+        f"({float(xs[i]):g}, {_format_cell(float(ys[i]), precision)})" for i in indices
+    )
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"

@@ -1,0 +1,121 @@
+"""Unit parsing and formatting helpers for memory, vCPU and durations.
+
+Serverless platforms quote memory in MB (AWS Lambda) or GB-seconds (billing)
+and CPU in fractional vCPU cores.  These helpers centralise conversions so the
+rest of the code can store plain floats (MB, vCPU, seconds) without ambiguity.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = [
+    "MB_PER_GB",
+    "mb_from_gb",
+    "gb_from_mb",
+    "parse_memory_mb",
+    "parse_vcpu",
+    "format_memory",
+    "format_duration",
+]
+
+MB_PER_GB = 1024.0
+
+
+def mb_from_gb(gigabytes: float) -> float:
+    """Convert GB to MB."""
+    return float(gigabytes) * MB_PER_GB
+
+
+def gb_from_mb(megabytes: float) -> float:
+    """Convert MB to GB."""
+    return float(megabytes) / MB_PER_GB
+
+
+def parse_memory_mb(value: Union[str, int, float]) -> float:
+    """Parse a memory amount into MB.
+
+    Accepts plain numbers (interpreted as MB) or strings with a unit suffix:
+    ``"512"``, ``"512MB"``, ``"0.5GB"``, ``"2 GiB"`` (GiB treated as GB for
+    the purposes of this model).
+
+    Raises
+    ------
+    ValueError
+        If the value cannot be parsed or is not positive.
+    """
+    if isinstance(value, (int, float)):
+        megabytes = float(value)
+    else:
+        text = str(value).strip().lower().replace(" ", "")
+        if text.endswith("gib") or text.endswith("gb"):
+            number = text[: -3] if text.endswith("gib") else text[:-2]
+            megabytes = mb_from_gb(float(number))
+        elif text.endswith("mib") or text.endswith("mb"):
+            number = text[: -3] if text.endswith("mib") else text[:-2]
+            megabytes = float(number)
+        elif text.endswith("m"):
+            megabytes = float(text[:-1])
+        elif text.endswith("g"):
+            megabytes = mb_from_gb(float(text[:-1]))
+        else:
+            megabytes = float(text)
+    if megabytes <= 0:
+        raise ValueError(f"memory must be positive, got {value!r}")
+    return megabytes
+
+
+def parse_vcpu(value: Union[str, int, float]) -> float:
+    """Parse a vCPU amount into a float core count.
+
+    Accepts plain numbers or strings such as ``"2"``, ``"0.5vcpu"``,
+    ``"1500m"`` (Kubernetes millicore notation).
+
+    Raises
+    ------
+    ValueError
+        If the value cannot be parsed or is not positive.
+    """
+    if isinstance(value, (int, float)):
+        cores = float(value)
+    else:
+        text = str(value).strip().lower().replace(" ", "")
+        if text.endswith("vcpu"):
+            cores = float(text[:-4])
+        elif text.endswith("cores"):
+            cores = float(text[:-5])
+        elif text.endswith("core"):
+            cores = float(text[:-4])
+        elif text.endswith("m") and not text.endswith("mm"):
+            cores = float(text[:-1]) / 1000.0
+        else:
+            cores = float(text)
+    if cores <= 0:
+        raise ValueError(f"vCPU must be positive, got {value!r}")
+    return cores
+
+
+def format_memory(megabytes: float) -> str:
+    """Format a memory amount with a sensible unit."""
+    if megabytes >= MB_PER_GB:
+        gigabytes = gb_from_mb(megabytes)
+        if abs(gigabytes - round(gigabytes)) < 1e-9:
+            return f"{int(round(gigabytes))}GB"
+        return f"{gigabytes:.2f}GB"
+    if abs(megabytes - round(megabytes)) < 1e-9:
+        return f"{int(round(megabytes))}MB"
+    return f"{megabytes:.1f}MB"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in s / ms / min depending on magnitude."""
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    if seconds < 1.0:
+        return f"{seconds * 1000.0:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes = seconds / 60.0
+    if minutes < 120.0:
+        return f"{minutes:.1f}min"
+    return f"{minutes / 60.0:.2f}h"

@@ -1,0 +1,120 @@
+"""Builders for common serverless workflow DAG shapes.
+
+The three applications evaluated in the paper (Fig. 1) are instances of these
+shapes:
+
+* **Chain** — a linear pipeline of stages.
+* **Scatter** — an early stage fans out to parallel workers that later join
+  (Video Analysis: split → extract × N → classify; Chatbot: split →
+  classifiers × N → end).
+* **Broadcast** — the workflow source feeds several independent branches that
+  meet at a combining stage (ML Pipeline: start → {train-PCA, param-tune,
+  test-PCA} → combine).
+* **Diamond** — a minimal scatter with two branches, useful for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workflow.dag import FunctionSpec, Workflow
+
+__all__ = [
+    "chain_workflow",
+    "scatter_workflow",
+    "broadcast_workflow",
+    "diamond_workflow",
+]
+
+
+def _specs(names: Sequence[str], descriptions: Optional[Sequence[str]] = None) -> List[FunctionSpec]:
+    if descriptions is None:
+        descriptions = ["" for _ in names]
+    if len(descriptions) != len(names):
+        raise ValueError("descriptions must match names length")
+    return [FunctionSpec(name=n, description=d) for n, d in zip(names, descriptions)]
+
+
+def chain_workflow(name: str, stage_names: Sequence[str]) -> Workflow:
+    """Build a linear pipeline ``stage_0 -> stage_1 -> ... -> stage_k``."""
+    if len(stage_names) == 0:
+        raise ValueError("a chain needs at least one stage")
+    edges: List[Tuple[str, str]] = [
+        (stage_names[i], stage_names[i + 1]) for i in range(len(stage_names) - 1)
+    ]
+    return Workflow(name=name, functions=_specs(stage_names), edges=edges)
+
+
+def scatter_workflow(
+    name: str,
+    entry: str,
+    fanout_stage: str,
+    worker_names: Sequence[str],
+    join_stage: str,
+    exit_stage: Optional[str] = None,
+) -> Workflow:
+    """Build a scatter DAG: entry → fanout → workers (parallel) → join [→ exit].
+
+    Parameters
+    ----------
+    entry:
+        First stage (e.g. input ingestion / "Start").
+    fanout_stage:
+        The stage whose completion releases the parallel workers (e.g.
+        "Split").
+    worker_names:
+        Names of the parallel workers.
+    join_stage:
+        Stage that waits for all workers (e.g. "Classify").
+    exit_stage:
+        Optional trailing stage after the join.
+    """
+    if len(worker_names) == 0:
+        raise ValueError("scatter workflow needs at least one worker")
+    names = [entry, fanout_stage, *worker_names, join_stage]
+    if exit_stage is not None:
+        names.append(exit_stage)
+    edges: List[Tuple[str, str]] = [(entry, fanout_stage)]
+    for worker in worker_names:
+        edges.append((fanout_stage, worker))
+        edges.append((worker, join_stage))
+    if exit_stage is not None:
+        edges.append((join_stage, exit_stage))
+    return Workflow(name=name, functions=_specs(names), edges=edges)
+
+
+def broadcast_workflow(
+    name: str,
+    entry: str,
+    branch_names: Sequence[str],
+    combine_stage: str,
+    exit_stage: Optional[str] = None,
+) -> Workflow:
+    """Build a broadcast DAG: entry → branches (parallel) → combine [→ exit]."""
+    if len(branch_names) == 0:
+        raise ValueError("broadcast workflow needs at least one branch")
+    names = [entry, *branch_names, combine_stage]
+    if exit_stage is not None:
+        names.append(exit_stage)
+    edges: List[Tuple[str, str]] = []
+    for branch in branch_names:
+        edges.append((entry, branch))
+        edges.append((branch, combine_stage))
+    if exit_stage is not None:
+        edges.append((combine_stage, exit_stage))
+    return Workflow(name=name, functions=_specs(names), edges=edges)
+
+
+def diamond_workflow(
+    name: str = "diamond",
+    entry: str = "entry",
+    left: str = "left",
+    right: str = "right",
+    exit_stage: str = "exit",
+) -> Workflow:
+    """Build the minimal two-branch scatter used widely in unit tests."""
+    return Workflow(
+        name=name,
+        functions=_specs([entry, left, right, exit_stage]),
+        edges=[(entry, left), (entry, right), (left, exit_stage), (right, exit_stage)],
+    )

@@ -1,0 +1,103 @@
+"""JSON (de)serialization for workflows and configurations.
+
+Cloud vendors receive workflow definitions from developers (step ❶ in the
+paper's architecture figure); this module provides a stable, dependency-free
+exchange format so workflow definitions and discovered configurations can be
+stored, diffed and shipped between tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.workflow.dag import FunctionSpec, Workflow, WorkflowValidationError
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "workflow_to_json",
+    "workflow_from_json",
+    "configuration_to_dict",
+    "configuration_from_dict",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
+    """Convert a workflow into a plain JSON-serialisable dictionary."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "name": workflow.name,
+        "functions": [
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "profile": spec.profile,
+                "tags": list(spec.tags),
+            }
+            for spec in workflow.functions
+        ],
+        "edges": [[u, v] for u, v in workflow.edges],
+    }
+
+
+def workflow_from_dict(payload: Mapping[str, Any]) -> Workflow:
+    """Reconstruct a workflow from :func:`workflow_to_dict` output."""
+    version = payload.get("schema_version", _SCHEMA_VERSION)
+    if version != _SCHEMA_VERSION:
+        raise WorkflowValidationError(
+            f"unsupported workflow schema version {version!r} (expected {_SCHEMA_VERSION})"
+        )
+    if "name" not in payload or "functions" not in payload:
+        raise WorkflowValidationError("workflow payload needs 'name' and 'functions'")
+    functions = []
+    for item in payload["functions"]:
+        functions.append(
+            FunctionSpec(
+                name=item["name"],
+                description=item.get("description", ""),
+                profile=item.get("profile"),
+                tags=tuple(item.get("tags", ())),
+            )
+        )
+    edges = [tuple(edge) for edge in payload.get("edges", [])]
+    return Workflow(name=payload["name"], functions=functions, edges=edges)
+
+
+def workflow_to_json(workflow: Workflow, indent: int = 2) -> str:
+    """Serialise a workflow to a JSON string."""
+    return json.dumps(workflow_to_dict(workflow), indent=indent, sort_keys=False)
+
+
+def workflow_from_json(text: str) -> Workflow:
+    """Parse a workflow from a JSON string."""
+    return workflow_from_dict(json.loads(text))
+
+
+def configuration_to_dict(configuration: WorkflowConfiguration) -> Dict[str, Any]:
+    """Convert a workflow configuration into a JSON-serialisable dictionary."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "functions": {
+            name: {"vcpu": cfg.vcpu, "memory_mb": cfg.memory_mb}
+            for name, cfg in sorted(configuration.items())
+        },
+    }
+
+
+def configuration_from_dict(payload: Mapping[str, Any]) -> WorkflowConfiguration:
+    """Reconstruct a configuration from :func:`configuration_to_dict` output."""
+    version = payload.get("schema_version", _SCHEMA_VERSION)
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported configuration schema version {version!r} (expected {_SCHEMA_VERSION})"
+        )
+    functions = payload.get("functions", {})
+    configs = {
+        name: ResourceConfig(vcpu=float(item["vcpu"]), memory_mb=float(item["memory_mb"]))
+        for name, item in functions.items()
+    }
+    return WorkflowConfiguration(configs)

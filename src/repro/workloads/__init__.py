@@ -1,0 +1,28 @@
+"""Benchmark workloads.
+
+The three serverless applications of the paper's evaluation — Chatbot,
+ML Pipeline and Video Analysis — rebuilt as workflow definitions plus
+calibrated analytic performance profiles.  Each workload bundles everything
+an experiment needs: the DAG, per-function profiles, the end-to-end SLO, the
+over-provisioned base configuration, and (for the input-sensitive Video
+Analysis) the input-size classes.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.chatbot import chatbot_workload
+from repro.workloads.ml_pipeline import ml_pipeline_workload
+from repro.workloads.video_analysis import video_analysis_workload
+from repro.workloads.inputs import InputClass, VIDEO_INPUT_CLASSES, request_sequence
+from repro.workloads.registry import get_workload, list_workloads
+
+__all__ = [
+    "WorkloadSpec",
+    "chatbot_workload",
+    "ml_pipeline_workload",
+    "video_analysis_workload",
+    "InputClass",
+    "VIDEO_INPUT_CLASSES",
+    "request_sequence",
+    "get_workload",
+    "list_workloads",
+]

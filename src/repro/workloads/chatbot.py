@@ -1,0 +1,122 @@
+"""Chatbot workflow (paper Fig. 1a).
+
+The Chatbot application ingests a batch of user utterances, splits them,
+trains several intent classifiers in parallel against remote storage and then
+runs real-time intent detection over the trained models.  Its stages spend
+most of their time on remote-storage I/O, so the workflow is the paper's
+*IO-bound* affinity example: extra memory never helps and extra cores help
+only a little — the cost-optimal configuration sits near 1 vCPU and 512 MB,
+and a memory-centric (coupled) allocator can only reach that CPU level by
+buying memory it does not need.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.analytic import FunctionProfile
+from repro.perfmodel.profiles import io_bound_profile
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig
+from repro.workflow.slo import SLO
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["chatbot_workload", "CHATBOT_SLO_SECONDS"]
+
+#: End-to-end SLO used in the paper's evaluation (§IV-A).
+CHATBOT_SLO_SECONDS = 120.0
+
+
+def _build_workflow() -> Workflow:
+    functions = [
+        FunctionSpec("start", description="receive request, fetch utterance batch"),
+        FunctionSpec("split", description="tokenise and shard the utterance batch"),
+        FunctionSpec("train_classifier_a", description="train intent classifier (shard A)"),
+        FunctionSpec("train_classifier_b", description="train intent classifier (shard B)"),
+        FunctionSpec("train_classifier_c", description="train intent classifier (shard C)"),
+        FunctionSpec("classify", description="real-time intent detection over trained models"),
+        FunctionSpec("end", description="persist results to remote storage"),
+    ]
+    edges = [
+        ("start", "split"),
+        ("split", "train_classifier_a"),
+        ("split", "train_classifier_b"),
+        ("split", "train_classifier_c"),
+        ("train_classifier_a", "classify"),
+        ("train_classifier_b", "classify"),
+        ("train_classifier_c", "classify"),
+        ("classify", "end"),
+    ]
+    return Workflow(name="chatbot", functions=functions, edges=edges)
+
+
+def _build_profiles() -> list:
+    profiles = [
+        io_bound_profile("start", io_seconds=1.0, cpu_seconds=0.5, working_set_mb=128.0),
+        FunctionProfile(
+            name="split",
+            cpu_seconds=6.0,
+            io_seconds=5.0,
+            parallel_fraction=0.5,
+            max_parallelism=2.0,
+            working_set_mb=192.0,
+            comfortable_memory_mb=320.0,
+            memory_pressure_penalty=0.15,
+            cpu_input_exponent=0.9,
+            io_input_exponent=1.0,
+            memory_input_exponent=0.2,
+            tags=("io-bound",),
+        ),
+    ]
+    for shard in ("a", "b", "c"):
+        profiles.append(
+            FunctionProfile(
+                name=f"train_classifier_{shard}",
+                cpu_seconds=20.0,
+                io_seconds=26.0,
+                parallel_fraction=0.4,
+                max_parallelism=2.0,
+                working_set_mb=384.0,
+                comfortable_memory_mb=480.0,
+                memory_pressure_penalty=0.1,
+                cpu_input_exponent=0.9,
+                io_input_exponent=1.0,
+                memory_input_exponent=0.15,
+                tags=("io-bound",),
+            )
+        )
+    profiles.append(
+        FunctionProfile(
+            name="classify",
+            cpu_seconds=10.0,
+            io_seconds=16.0,
+            parallel_fraction=0.5,
+            max_parallelism=2.0,
+            working_set_mb=320.0,
+            comfortable_memory_mb=448.0,
+            memory_pressure_penalty=0.1,
+            cpu_input_exponent=0.9,
+            io_input_exponent=1.0,
+            memory_input_exponent=0.15,
+            tags=("io-bound",),
+        )
+    )
+    profiles.append(
+        io_bound_profile("end", io_seconds=1.5, cpu_seconds=0.5, working_set_mb=128.0)
+    )
+    return profiles
+
+
+def chatbot_workload() -> WorkloadSpec:
+    """Build the Chatbot workload specification."""
+    return WorkloadSpec(
+        name="chatbot",
+        workflow=_build_workflow(),
+        profiles=_build_profiles(),
+        slo=SLO(latency_limit=CHATBOT_SLO_SECONDS, name="chatbot-e2e"),
+        base_config=ResourceConfig(vcpu=4.0, memory_mb=2048.0),
+        description=(
+            "Intent-detection chatbot: split utterances, train classifiers in "
+            "parallel against remote storage, detect intents"
+        ),
+        communication_pattern="scatter",
+        default_input_scale=1.0,
+    )

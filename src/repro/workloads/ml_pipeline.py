@@ -1,0 +1,95 @@
+"""ML Pipeline workflow (paper Fig. 1b).
+
+The ML Pipeline application broadcasts a dataset to three parallel branches —
+PCA over the training set, hyper-parameter tuning, and PCA over the test set —
+then combines the trained models and evaluates them.  Every stage is
+compute-dominated with a small working set, making this the paper's
+*CPU-hungry / low-memory* affinity example: the decoupled optimum sits around
+4 vCPUs with only ~512 MB of memory, a point a coupled allocator can only
+reach by paying for 4 GB it never touches (the paper's 87.5 % memory
+reduction observation).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.analytic import FunctionProfile
+from repro.perfmodel.profiles import io_bound_profile
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig
+from repro.workflow.slo import SLO
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["ml_pipeline_workload", "ML_PIPELINE_SLO_SECONDS"]
+
+#: End-to-end SLO used in the paper's evaluation (§IV-A).
+ML_PIPELINE_SLO_SECONDS = 120.0
+
+
+def _build_workflow() -> Workflow:
+    functions = [
+        FunctionSpec("start", description="load dataset and broadcast to branches"),
+        FunctionSpec("train_pca", description="PCA dimensionality reduction on the training set"),
+        FunctionSpec("param_tune", description="hyper-parameter tuning of the model"),
+        FunctionSpec("test_pca", description="PCA dimensionality reduction on the test set"),
+        FunctionSpec("combine_and_test", description="combine models and evaluate on test data"),
+        FunctionSpec("end", description="persist trained model and metrics"),
+    ]
+    edges = [
+        ("start", "train_pca"),
+        ("start", "param_tune"),
+        ("start", "test_pca"),
+        ("train_pca", "combine_and_test"),
+        ("param_tune", "combine_and_test"),
+        ("test_pca", "combine_and_test"),
+        ("combine_and_test", "end"),
+    ]
+    return Workflow(name="ml-pipeline", functions=functions, edges=edges)
+
+
+def _cpu_stage(
+    name: str, cpu_seconds: float, parallel_fraction: float, working_set_mb: float
+) -> FunctionProfile:
+    return FunctionProfile(
+        name=name,
+        cpu_seconds=cpu_seconds,
+        io_seconds=2.0,
+        parallel_fraction=parallel_fraction,
+        max_parallelism=8.0,
+        working_set_mb=working_set_mb,
+        comfortable_memory_mb=working_set_mb * 1.3,
+        memory_pressure_penalty=0.12,
+        cpu_input_exponent=1.0,
+        io_input_exponent=0.6,
+        memory_input_exponent=0.25,
+        tags=("cpu-bound",),
+    )
+
+
+def _build_profiles() -> list:
+    return [
+        io_bound_profile("start", io_seconds=2.0, cpu_seconds=1.0, working_set_mb=192.0),
+        _cpu_stage("train_pca", cpu_seconds=180.0, parallel_fraction=0.9, working_set_mb=384.0),
+        _cpu_stage("param_tune", cpu_seconds=140.0, parallel_fraction=0.88, working_set_mb=320.0),
+        _cpu_stage("test_pca", cpu_seconds=90.0, parallel_fraction=0.88, working_set_mb=320.0),
+        _cpu_stage(
+            "combine_and_test", cpu_seconds=60.0, parallel_fraction=0.8, working_set_mb=384.0
+        ),
+        io_bound_profile("end", io_seconds=1.5, cpu_seconds=0.5, working_set_mb=128.0),
+    ]
+
+
+def ml_pipeline_workload() -> WorkloadSpec:
+    """Build the ML Pipeline workload specification."""
+    return WorkloadSpec(
+        name="ml-pipeline",
+        workflow=_build_workflow(),
+        profiles=_build_profiles(),
+        slo=SLO(latency_limit=ML_PIPELINE_SLO_SECONDS, name="ml-pipeline-e2e"),
+        base_config=ResourceConfig(vcpu=6.0, memory_mb=4096.0),
+        description=(
+            "Machine-learning pipeline: PCA + hyper-parameter tuning in parallel "
+            "branches, then model combination and testing"
+        ),
+        communication_pattern="broadcast",
+        default_input_scale=1.0,
+    )

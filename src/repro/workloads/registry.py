@@ -1,0 +1,53 @@
+"""Registry of the benchmark workloads."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.chatbot import chatbot_workload
+from repro.workloads.ml_pipeline import ml_pipeline_workload
+from repro.workloads.video_analysis import video_analysis_workload
+
+__all__ = ["get_workload", "list_workloads", "register_workload"]
+
+_FACTORIES: Dict[str, Callable[[], WorkloadSpec]] = {
+    "chatbot": chatbot_workload,
+    "ml-pipeline": ml_pipeline_workload,
+    "video-analysis": video_analysis_workload,
+}
+
+_ALIASES: Dict[str, str] = {
+    "ml_pipeline": "ml-pipeline",
+    "mlpipeline": "ml-pipeline",
+    "video_analysis": "video-analysis",
+    "videoanalysis": "video-analysis",
+}
+
+
+def register_workload(name: str, factory: Callable[[], WorkloadSpec]) -> None:
+    """Register a custom workload factory under ``name``."""
+    if not name:
+        raise ValueError("workload name must be non-empty")
+    _FACTORIES[name] = factory
+
+
+def list_workloads() -> List[str]:
+    """Names of all registered workloads."""
+    return sorted(_FACTORIES.keys())
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Build a fresh workload specification by name.
+
+    Accepts a few spelling aliases (``ml_pipeline`` → ``ml-pipeline``).
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+        ) from None
+    return factory()

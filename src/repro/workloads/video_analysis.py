@@ -1,0 +1,116 @@
+"""Video Analysis workflow (paper Fig. 1c).
+
+The Video Analysis application splits an input video into chunks, extracts
+key frames from each chunk in parallel and classifies the extracted frames.
+Chunks are large, so every stage carries a multi-GB working set *and* heavy,
+highly parallel computation — the paper's *CPU-and-memory-hungry* affinity
+example, whose cost optimum sits around 8 vCPUs and ~5 GB of memory.  The
+workload is also input-sensitive (runtime grows with video size), which is
+what the Input-Aware Configuration Engine study (Fig. 8) exercises.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.analytic import FunctionProfile
+from repro.perfmodel.profiles import io_bound_profile
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig
+from repro.workflow.slo import SLO
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["video_analysis_workload", "VIDEO_ANALYSIS_SLO_SECONDS"]
+
+#: End-to-end SLO used in the paper's evaluation (§IV-A).
+VIDEO_ANALYSIS_SLO_SECONDS = 600.0
+
+
+def _build_workflow() -> Workflow:
+    functions = [
+        FunctionSpec("start", description="fetch the input video from object storage"),
+        FunctionSpec("split", description="split the video into fixed-length chunks"),
+        FunctionSpec("extract_0", description="extract key frames from chunk 0", profile="extract"),
+        FunctionSpec("extract_1", description="extract key frames from chunk 1", profile="extract"),
+        FunctionSpec("extract_2", description="extract key frames from chunk 2", profile="extract"),
+        FunctionSpec("extract_3", description="extract key frames from chunk 3", profile="extract"),
+        FunctionSpec("classify", description="classify the extracted key frames"),
+        FunctionSpec("end", description="aggregate detections and store the report"),
+    ]
+    edges = [
+        ("start", "split"),
+        ("split", "extract_0"),
+        ("split", "extract_1"),
+        ("split", "extract_2"),
+        ("split", "extract_3"),
+        ("extract_0", "classify"),
+        ("extract_1", "classify"),
+        ("extract_2", "classify"),
+        ("extract_3", "classify"),
+        ("classify", "end"),
+    ]
+    return Workflow(name="video-analysis", functions=functions, edges=edges)
+
+
+def _build_profiles() -> list:
+    return [
+        io_bound_profile("start", io_seconds=6.0, cpu_seconds=2.0, working_set_mb=512.0),
+        FunctionProfile(
+            name="split",
+            cpu_seconds=240.0,
+            io_seconds=10.0,
+            parallel_fraction=0.9,
+            max_parallelism=10.0,
+            working_set_mb=768.0,
+            comfortable_memory_mb=2560.0,
+            memory_pressure_penalty=1.2,
+            cpu_input_exponent=1.0,
+            io_input_exponent=0.9,
+            memory_input_exponent=0.55,
+            tags=("memory-bound",),
+        ),
+        FunctionProfile(
+            name="extract",
+            cpu_seconds=600.0,
+            io_seconds=12.0,
+            parallel_fraction=0.92,
+            max_parallelism=10.0,
+            working_set_mb=1280.0,
+            comfortable_memory_mb=4608.0,
+            memory_pressure_penalty=1.6,
+            cpu_input_exponent=1.0,
+            io_input_exponent=0.9,
+            memory_input_exponent=0.5,
+            tags=("memory-bound",),
+        ),
+        FunctionProfile(
+            name="classify",
+            cpu_seconds=500.0,
+            io_seconds=10.0,
+            parallel_fraction=0.88,
+            max_parallelism=10.0,
+            working_set_mb=1024.0,
+            comfortable_memory_mb=3840.0,
+            memory_pressure_penalty=1.4,
+            cpu_input_exponent=1.0,
+            io_input_exponent=0.9,
+            memory_input_exponent=0.5,
+            tags=("memory-bound",),
+        ),
+        io_bound_profile("end", io_seconds=4.0, cpu_seconds=1.0, working_set_mb=256.0),
+    ]
+
+
+def video_analysis_workload() -> WorkloadSpec:
+    """Build the Video Analysis workload specification."""
+    return WorkloadSpec(
+        name="video-analysis",
+        workflow=_build_workflow(),
+        profiles=_build_profiles(),
+        slo=SLO(latency_limit=VIDEO_ANALYSIS_SLO_SECONDS, name="video-analysis-e2e"),
+        base_config=ResourceConfig(vcpu=9.0, memory_mb=8192.0),
+        description=(
+            "Video analysis: split the input video, extract key frames from the "
+            "chunks in parallel, classify the frames"
+        ),
+        communication_pattern="scatter",
+        default_input_scale=1.0,
+    )

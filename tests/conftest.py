@@ -1,0 +1,131 @@
+"""Shared pytest fixtures.
+
+The fixtures build a deliberately small synthetic workflow (a diamond DAG
+with hand-written profiles) so unit tests of the scheduler, configurator and
+optimizers run in milliseconds, independent of the full benchmark workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without an installed package (e.g. straight from a
+# source checkout) by putting ``src`` on the path.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.config_space import ConfigurationSpace  # noqa: E402
+from repro.core.objective import WorkflowObjective  # noqa: E402
+from repro.execution.executor import WorkflowExecutor  # noqa: E402
+from repro.perfmodel.analytic import FunctionProfile  # noqa: E402
+from repro.perfmodel.registry import PerformanceModelRegistry  # noqa: E402
+from repro.pricing.model import PAPER_PRICING  # noqa: E402
+from repro.workflow.dag import FunctionSpec, Workflow  # noqa: E402
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration  # noqa: E402
+from repro.workflow.slo import SLO  # noqa: E402
+
+
+@pytest.fixture
+def diamond_workflow() -> Workflow:
+    """entry -> {left, right} -> exit."""
+    return Workflow(
+        name="diamond",
+        functions=[
+            FunctionSpec("entry"),
+            FunctionSpec("left"),
+            FunctionSpec("right"),
+            FunctionSpec("exit"),
+        ],
+        edges=[("entry", "left"), ("entry", "right"), ("left", "exit"), ("right", "exit")],
+    )
+
+
+@pytest.fixture
+def diamond_profiles():
+    """Profiles for the diamond workflow: one CPU-heavy branch, one light."""
+    return [
+        FunctionProfile(
+            name="entry",
+            cpu_seconds=1.0,
+            io_seconds=1.0,
+            parallel_fraction=0.5,
+            working_set_mb=128.0,
+            comfortable_memory_mb=192.0,
+        ),
+        FunctionProfile(
+            name="left",
+            cpu_seconds=20.0,
+            io_seconds=1.0,
+            parallel_fraction=0.9,
+            max_parallelism=8.0,
+            working_set_mb=256.0,
+            comfortable_memory_mb=384.0,
+        ),
+        FunctionProfile(
+            name="right",
+            cpu_seconds=4.0,
+            io_seconds=2.0,
+            parallel_fraction=0.5,
+            working_set_mb=192.0,
+            comfortable_memory_mb=256.0,
+        ),
+        FunctionProfile(
+            name="exit",
+            cpu_seconds=2.0,
+            io_seconds=1.0,
+            parallel_fraction=0.5,
+            working_set_mb=128.0,
+            comfortable_memory_mb=192.0,
+        ),
+    ]
+
+
+@pytest.fixture
+def diamond_registry(diamond_profiles) -> PerformanceModelRegistry:
+    """Noise-free performance models for the diamond workflow."""
+    return PerformanceModelRegistry.from_profiles(diamond_profiles)
+
+
+@pytest.fixture
+def diamond_executor(diamond_registry) -> WorkflowExecutor:
+    """Executor over the diamond workflow's models with paper pricing."""
+    return WorkflowExecutor(performance_model=diamond_registry, pricing=PAPER_PRICING)
+
+
+@pytest.fixture
+def diamond_slo() -> SLO:
+    """An SLO the base configuration meets with head-room."""
+    return SLO(latency_limit=30.0, name="diamond-e2e")
+
+
+@pytest.fixture
+def diamond_base_configuration(diamond_workflow) -> WorkflowConfiguration:
+    """A generous 4 vCPU / 2 GB allocation for every function."""
+    return WorkflowConfiguration.uniform(
+        diamond_workflow.function_names, ResourceConfig(vcpu=4.0, memory_mb=2048.0)
+    )
+
+
+@pytest.fixture
+def diamond_objective(diamond_executor, diamond_workflow, diamond_slo) -> WorkflowObjective:
+    """A fresh sample-counting objective for the diamond workflow."""
+    return WorkflowObjective(
+        executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+    )
+
+
+@pytest.fixture
+def small_space() -> ConfigurationSpace:
+    """A coarse configuration space that keeps unit-test searches short."""
+    return ConfigurationSpace(
+        memory_min_mb=128.0,
+        memory_max_mb=4096.0,
+        memory_step_mb=64.0,
+        vcpu_min=0.1,
+        vcpu_max=8.0,
+        vcpu_step=0.1,
+    )

@@ -1,0 +1,183 @@
+"""Tests for the decoupled configuration space."""
+
+import numpy as np
+import pytest
+
+from repro.core.config_space import ConfigurationSpace
+from repro.utils.rng import RngStream
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+
+
+class TestValidation:
+    def test_positive_minimums_required(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(memory_min_mb=0)
+        with pytest.raises(ValueError):
+            ConfigurationSpace(vcpu_min=0)
+
+    def test_bounds_ordering(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(memory_min_mb=1024, memory_max_mb=512)
+        with pytest.raises(ValueError):
+            ConfigurationSpace(vcpu_min=4, vcpu_max=1)
+
+    def test_positive_steps_required(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(memory_step_mb=0)
+        with pytest.raises(ValueError):
+            ConfigurationSpace(vcpu_step=0)
+
+
+class TestGrid:
+    def test_paper_grid_sizes(self):
+        space = ConfigurationSpace()
+        # memory: 128..10240 in 64 MB steps
+        assert space.n_memory_values == 159
+        # vCPU: 0.1..10 in 0.1 steps
+        assert space.n_vcpu_values == 100
+        assert space.size_per_function() == 159 * 100
+
+    def test_workflow_space_is_exponential(self):
+        space = ConfigurationSpace()
+        assert space.size_for_workflow(2) == float(space.size_per_function()) ** 2
+
+    def test_memory_values_span_bounds(self):
+        values = ConfigurationSpace().memory_values()
+        assert values[0] == 128.0
+        assert values[-1] == 10240.0
+
+    def test_vcpu_values_span_bounds(self):
+        values = ConfigurationSpace().vcpu_values()
+        assert values[0] == pytest.approx(0.1)
+        assert values[-1] == pytest.approx(10.0)
+
+
+class TestSnapping:
+    def test_snap_memory_to_nearest_step(self):
+        space = ConfigurationSpace()
+        assert space.snap_memory(700) == 704.0
+        assert space.snap_memory(100) == 128.0
+        assert space.snap_memory(99999) == 10240.0
+
+    def test_snap_vcpu(self):
+        space = ConfigurationSpace()
+        assert space.snap_vcpu(1.23) == pytest.approx(1.2)
+        assert space.snap_vcpu(0.01) == pytest.approx(0.1)
+        assert space.snap_vcpu(50) == pytest.approx(10.0)
+
+    def test_snap_config_and_contains(self):
+        space = ConfigurationSpace()
+        snapped = space.snap(ResourceConfig(vcpu=1.234, memory_mb=1000))
+        assert space.contains(snapped)
+        assert not space.contains(ResourceConfig(vcpu=1.234, memory_mb=1000))
+
+    def test_snap_is_idempotent(self):
+        space = ConfigurationSpace()
+        config = space.snap(ResourceConfig(vcpu=3.33, memory_mb=3333))
+        assert space.snap(config) == config
+
+    def test_snap_configuration(self):
+        space = ConfigurationSpace()
+        configuration = WorkflowConfiguration(
+            {"a": ResourceConfig(1.26, 700), "b": ResourceConfig(9.99, 90)}
+        )
+        snapped = space.snap_configuration(configuration)
+        assert all(space.contains(cfg) for cfg in snapped.values())
+
+
+class TestCommonConfigs:
+    def test_extremes(self):
+        space = ConfigurationSpace()
+        assert space.max_config() == ResourceConfig(10.0, 10240.0)
+        assert space.min_config() == ResourceConfig(0.1, 128.0)
+
+    def test_default_base_is_on_grid(self):
+        space = ConfigurationSpace()
+        assert space.contains(space.default_base_config())
+
+    def test_coupled_config_respects_ratio_and_bounds(self):
+        space = ConfigurationSpace()
+        coupled = space.coupled_config(2048.0)
+        assert coupled.memory_mb == 2048.0
+        assert coupled.vcpu == pytest.approx(2.0)
+        # 10240 MB would imply 10 vCPUs which is exactly the cap
+        assert space.coupled_config(10240.0).vcpu == pytest.approx(10.0)
+        # tiny memory clamps CPU to the floor
+        assert space.coupled_config(128.0).vcpu == pytest.approx(0.1)
+
+    def test_random_config_on_grid(self):
+        space = ConfigurationSpace()
+        rng = RngStream(0)
+        for _ in range(50):
+            assert space.contains(space.random_config(rng))
+
+    def test_random_configuration_covers_functions(self):
+        space = ConfigurationSpace()
+        configuration = space.random_configuration(["a", "b"], RngStream(1))
+        assert set(configuration.keys()) == {"a", "b"}
+
+
+class TestDecreaseMoves:
+    def test_decrease_memory_moves_down(self):
+        space = ConfigurationSpace()
+        config = ResourceConfig(vcpu=2, memory_mb=2048)
+        reduced = space.decrease_memory(config, 0.5)
+        assert reduced.memory_mb == 1024.0
+        assert reduced.vcpu == 2
+
+    def test_decrease_memory_always_moves_at_least_one_step(self):
+        space = ConfigurationSpace()
+        config = ResourceConfig(vcpu=2, memory_mb=256)
+        reduced = space.decrease_memory(config, 0.01)
+        assert reduced.memory_mb < 256
+
+    def test_decrease_at_floor_is_identity(self):
+        space = ConfigurationSpace()
+        floor = ResourceConfig(vcpu=0.1, memory_mb=128)
+        assert space.decrease_memory(floor, 0.5) == floor
+        assert space.decrease_vcpu(floor, 0.5) == floor
+        assert space.at_memory_floor(floor)
+        assert space.at_vcpu_floor(floor)
+
+    def test_decrease_vcpu_fraction(self):
+        space = ConfigurationSpace()
+        reduced = space.decrease_vcpu(ResourceConfig(vcpu=4, memory_mb=512), 0.25)
+        assert reduced.vcpu == pytest.approx(3.0)
+
+    def test_invalid_fraction_rejected(self):
+        space = ConfigurationSpace()
+        with pytest.raises(ValueError):
+            space.decrease_memory(ResourceConfig(1, 512), 0.0)
+        with pytest.raises(ValueError):
+            space.decrease_vcpu(ResourceConfig(1, 512), 1.5)
+
+
+class TestEncoding:
+    def test_round_trip_through_vector(self):
+        space = ConfigurationSpace()
+        names = ["f1", "f2"]
+        configuration = WorkflowConfiguration(
+            {"f1": ResourceConfig(2.0, 1024.0), "f2": ResourceConfig(5.0, 4096.0)}
+        )
+        vector = space.encode(configuration, names)
+        assert vector.shape == (4,)
+        assert np.all((vector >= 0) & (vector <= 1))
+        decoded = space.decode(vector, names)
+        assert decoded["f1"] == configuration["f1"]
+        assert decoded["f2"] == configuration["f2"]
+
+    def test_decode_clips_out_of_range(self):
+        space = ConfigurationSpace()
+        decoded = space.decode(np.array([-1.0, 2.0]), ["f"])
+        assert decoded["f"] == ResourceConfig(space.vcpu_min, space.memory_max_mb)
+
+    def test_decode_wrong_length_raises(self):
+        space = ConfigurationSpace()
+        with pytest.raises(ValueError):
+            space.decode(np.zeros(3), ["a", "b"])
+
+    def test_dimensionality(self):
+        assert ConfigurationSpace().dimensionality(7) == 14
+
+    def test_describe(self):
+        assert "128" in ConfigurationSpace().describe()

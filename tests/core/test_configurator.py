@@ -1,0 +1,154 @@
+"""Tests for the Priority Configurator (Algorithm 2)."""
+
+import pytest
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.configurator import PriorityConfigurator, PriorityConfiguratorOptions
+from repro.core.objective import WorkflowObjective
+from repro.workflow.slo import SLO
+
+
+class TestOptionsValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            PriorityConfiguratorOptions(initial_step_fraction=0)
+        with pytest.raises(ValueError):
+            PriorityConfiguratorOptions(func_trial=0)
+        with pytest.raises(ValueError):
+            PriorityConfiguratorOptions(max_trail=0)
+        with pytest.raises(ValueError):
+            PriorityConfiguratorOptions(backoff_decay=1.0)
+        with pytest.raises(ValueError):
+            PriorityConfiguratorOptions(min_cost_improvement=-1)
+        with pytest.raises(ValueError):
+            PriorityConfiguratorOptions(slo_safety_margin=1.0)
+
+
+class TestConfigurePath:
+    def _configure(self, objective, configuration, path, slo, **option_overrides):
+        options = PriorityConfiguratorOptions(**option_overrides) if option_overrides else None
+        configurator = PriorityConfigurator(
+            ConfigurationSpace(),
+            options,
+        )
+        return configurator.configure_path(
+            objective, path, path_slo=slo, configuration=configuration
+        )
+
+    def test_reduces_cost_without_violating_slo(self, diamond_objective,
+                                                diamond_base_configuration, diamond_slo):
+        baseline = diamond_objective.evaluate(diamond_base_configuration)
+        config, evaluation = self._configure(
+            diamond_objective,
+            diamond_base_configuration,
+            ["entry", "left", "exit"],
+            diamond_slo,
+        )
+        assert evaluation.cost < baseline.cost
+        assert evaluation.runtime_seconds <= diamond_slo.latency_limit
+        assert evaluation.succeeded
+
+    def test_untouched_functions_keep_their_config(self, diamond_objective,
+                                                   diamond_base_configuration, diamond_slo):
+        config, _ = self._configure(
+            diamond_objective, diamond_base_configuration, ["left"], diamond_slo
+        )
+        assert config["right"] == diamond_base_configuration["right"]
+        assert config["entry"] == diamond_base_configuration["entry"]
+
+    def test_path_functions_shrink(self, diamond_objective, diamond_base_configuration,
+                                   diamond_slo):
+        config, _ = self._configure(
+            diamond_objective, diamond_base_configuration, ["left", "right"], diamond_slo
+        )
+        before = diamond_base_configuration
+        shrunk = (
+            config["left"].vcpu < before["left"].vcpu
+            or config["left"].memory_mb < before["left"].memory_mb
+            or config["right"].vcpu < before["right"].vcpu
+            or config["right"].memory_mb < before["right"].memory_mb
+        )
+        assert shrunk
+
+    def test_respects_max_trail_budget(self, diamond_executor, diamond_workflow, diamond_slo,
+                                       diamond_base_configuration):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        configurator = PriorityConfigurator(
+            ConfigurationSpace(),
+            PriorityConfiguratorOptions(max_trail=5),
+        )
+        configurator.configure_path(
+            objective,
+            ["entry", "left", "right", "exit"],
+            path_slo=diamond_slo,
+            configuration=diamond_base_configuration,
+        )
+        # one baseline evaluation + at most max_trail trials
+        assert objective.sample_count <= 6
+
+    def test_tight_slo_keeps_base_configuration(self, diamond_objective,
+                                                diamond_base_configuration):
+        baseline = diamond_objective.evaluate(diamond_base_configuration)
+        tight = SLO(latency_limit=baseline.runtime_seconds * 1.0001, name="tight")
+        config, evaluation = self._configure(
+            diamond_objective,
+            diamond_base_configuration,
+            ["entry", "left", "exit"],
+            tight,
+            slo_safety_margin=0.0,
+        )
+        # With no head-room below the SLO, very few (if any) deallocations can
+        # be accepted and the result must still satisfy the SLO.
+        assert evaluation.runtime_seconds <= tight.latency_limit
+
+    def test_empty_path_rejected(self, diamond_objective, diamond_base_configuration,
+                                 diamond_slo):
+        configurator = PriorityConfigurator(
+            ConfigurationSpace()
+        )
+        with pytest.raises(ValueError):
+            configurator.configure_path(
+                diamond_objective, [], path_slo=diamond_slo,
+                configuration=diamond_base_configuration,
+            )
+
+    def test_unknown_path_function_rejected(self, diamond_objective,
+                                            diamond_base_configuration, diamond_slo):
+        configurator = PriorityConfigurator(
+            ConfigurationSpace()
+        )
+        with pytest.raises(KeyError):
+            configurator.configure_path(
+                diamond_objective, ["ghost"], path_slo=diamond_slo,
+                configuration=diamond_base_configuration,
+            )
+
+    def test_baseline_reuse_saves_a_sample(self, diamond_objective, diamond_base_configuration,
+                                           diamond_slo):
+        baseline = diamond_objective.evaluate(diamond_base_configuration)
+        before = diamond_objective.sample_count
+        configurator = PriorityConfigurator(
+            ConfigurationSpace(),
+            PriorityConfiguratorOptions(max_trail=1),
+        )
+        configurator.configure_path(
+            diamond_objective,
+            ["left"],
+            path_slo=diamond_slo,
+            configuration=diamond_base_configuration,
+            baseline=baseline,
+        )
+        assert diamond_objective.sample_count == before + 1
+
+    def test_safety_margin_keeps_headroom(self, diamond_objective, diamond_base_configuration,
+                                          diamond_slo):
+        _, evaluation = self._configure(
+            diamond_objective,
+            diamond_base_configuration,
+            ["entry", "left", "exit"],
+            diamond_slo,
+            slo_safety_margin=0.2,
+        )
+        assert evaluation.runtime_seconds <= diamond_slo.latency_limit * 0.8 + 1e-9

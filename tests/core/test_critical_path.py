@@ -1,0 +1,146 @@
+"""Tests for critical-path and detour sub-path analysis."""
+
+import pytest
+
+from repro.core.critical_path import (
+    analyse,
+    find_critical_path,
+    find_detour_subpaths,
+    runtime_sum,
+    SubPath,
+)
+from repro.workflow.dag import FunctionSpec, Workflow
+
+
+def scatter_workflow() -> Workflow:
+    """start -> split -> {w1, w2, w3} -> join -> end."""
+    functions = [FunctionSpec(n) for n in ("start", "split", "w1", "w2", "w3", "join", "end")]
+    edges = [
+        ("start", "split"),
+        ("split", "w1"),
+        ("split", "w2"),
+        ("split", "w3"),
+        ("w1", "join"),
+        ("w2", "join"),
+        ("w3", "join"),
+        ("join", "end"),
+    ]
+    return Workflow("scatter", functions, edges)
+
+
+RUNTIMES = {
+    "start": 1.0,
+    "split": 2.0,
+    "w1": 10.0,
+    "w2": 6.0,
+    "w3": 3.0,
+    "join": 2.0,
+    "end": 1.0,
+}
+
+
+class TestSubPathDataclass:
+    def test_requires_interior(self):
+        with pytest.raises(ValueError):
+            SubPath(start="a", end="b", nodes=("a", "b"))
+
+    def test_endpoints_must_match(self):
+        with pytest.raises(ValueError):
+            SubPath(start="a", end="b", nodes=("x", "m", "b"))
+
+    def test_interior(self):
+        subpath = SubPath(start="a", end="c", nodes=("a", "b", "c"))
+        assert subpath.interior == ("b",)
+        assert len(subpath) == 3
+
+
+class TestFindCriticalPath:
+    def test_picks_heaviest_branch(self):
+        workflow = scatter_workflow()
+        path, total = find_critical_path(workflow, RUNTIMES)
+        assert path == ["start", "split", "w1", "join", "end"]
+        assert total == pytest.approx(16.0)
+
+    def test_chain_critical_path_is_whole_chain(self):
+        workflow = Workflow(
+            "chain",
+            [FunctionSpec("a"), FunctionSpec("b"), FunctionSpec("c")],
+            [("a", "b"), ("b", "c")],
+        )
+        path, total = find_critical_path(workflow, {"a": 1, "b": 2, "c": 3})
+        assert path == ["a", "b", "c"]
+        assert total == 6
+
+
+class TestRuntimeSum:
+    def test_inclusive_interval(self):
+        path = ["start", "split", "w1", "join", "end"]
+        assert runtime_sum(path, RUNTIMES, "split", "join") == pytest.approx(2 + 10 + 2)
+
+    def test_single_node_interval(self):
+        path = ["start", "split"]
+        assert runtime_sum(path, RUNTIMES, "split", "split") == 2.0
+
+    def test_wrong_order_raises(self):
+        path = ["start", "split", "w1"]
+        with pytest.raises(ValueError):
+            runtime_sum(path, RUNTIMES, "w1", "start")
+
+    def test_missing_endpoint_raises(self):
+        with pytest.raises(ValueError):
+            runtime_sum(["start"], RUNTIMES, "start", "join")
+
+
+class TestFindDetourSubpaths:
+    def test_scatter_detours(self):
+        workflow = scatter_workflow()
+        critical_path, _ = find_critical_path(workflow, RUNTIMES)
+        subpaths = find_detour_subpaths(workflow, critical_path)
+        interiors = sorted(sp.interior for sp in subpaths)
+        assert interiors == [("w2",), ("w3",)]
+        for subpath in subpaths:
+            assert subpath.start == "split"
+            assert subpath.end == "join"
+
+    def test_chain_has_no_detours(self):
+        workflow = Workflow(
+            "chain",
+            [FunctionSpec("a"), FunctionSpec("b")],
+            [("a", "b")],
+        )
+        assert find_detour_subpaths(workflow, ["a", "b"]) == []
+
+    def test_unknown_critical_node_raises(self):
+        workflow = scatter_workflow()
+        with pytest.raises(KeyError):
+            find_detour_subpaths(workflow, ["start", "nope"])
+
+    def test_multi_hop_detour(self):
+        # start -> a -> end is critical; start -> x -> y -> end is a two-node detour
+        functions = [FunctionSpec(n) for n in ("start", "a", "x", "y", "end")]
+        edges = [("start", "a"), ("a", "end"), ("start", "x"), ("x", "y"), ("y", "end")]
+        workflow = Workflow("w", functions, edges)
+        runtimes = {"start": 1, "a": 10, "x": 1, "y": 1, "end": 1}
+        critical_path, _ = find_critical_path(workflow, runtimes)
+        assert critical_path == ["start", "a", "end"]
+        subpaths = find_detour_subpaths(workflow, critical_path)
+        assert len(subpaths) == 1
+        assert subpaths[0].interior == ("x", "y")
+
+    def test_deterministic_order(self):
+        workflow = scatter_workflow()
+        critical_path, _ = find_critical_path(workflow, RUNTIMES)
+        first = find_detour_subpaths(workflow, critical_path)
+        second = find_detour_subpaths(workflow, critical_path)
+        assert [sp.nodes for sp in first] == [sp.nodes for sp in second]
+
+
+class TestAnalyse:
+    def test_full_analysis(self):
+        workflow = scatter_workflow()
+        analysis = analyse(workflow, RUNTIMES)
+        assert analysis.critical_path[0] == "start"
+        assert analysis.critical_path_runtime == pytest.approx(16.0)
+        assert set(analysis.off_critical_functions()) == {"w2", "w3"}
+        assert analysis.functions_covered_by_subpaths() == {"w2", "w3"}
+        assert analysis.uncovered_functions() == []

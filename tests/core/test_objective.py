@@ -1,0 +1,120 @@
+"""Tests for the objective wrapper and search bookkeeping."""
+
+import pytest
+
+from repro.core.objective import SearchHistory, WorkflowObjective
+from repro.workflow.resources import ResourceConfig
+
+
+class TestWorkflowObjective:
+    def test_evaluate_records_sample(self, diamond_objective, diamond_base_configuration):
+        result = diamond_objective.evaluate(diamond_base_configuration)
+        assert diamond_objective.sample_count == 1
+        assert result.runtime_seconds > 0
+        assert result.cost > 0
+        assert result.slo_met
+        assert result.succeeded
+        assert result.feasible
+
+    def test_history_totals_accumulate(self, diamond_objective, diamond_base_configuration):
+        for _ in range(3):
+            diamond_objective.evaluate(diamond_base_configuration)
+        history = diamond_objective.history
+        assert history.sample_count == 3
+        assert history.total_runtime_seconds == pytest.approx(
+            3 * history.samples[0].runtime_seconds
+        )
+        assert history.total_cost == pytest.approx(3 * history.samples[0].cost)
+
+    def test_max_samples_enforced(self, diamond_executor, diamond_workflow, diamond_slo,
+                                  diamond_base_configuration):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo, max_samples=2
+        )
+        objective.evaluate(diamond_base_configuration)
+        objective.evaluate(diamond_base_configuration)
+        with pytest.raises(RuntimeError):
+            objective.evaluate(diamond_base_configuration)
+
+    def test_infeasible_detected(self, diamond_objective, diamond_base_configuration):
+        starved = diamond_base_configuration.updated(
+            "left", ResourceConfig(vcpu=0.1, memory_mb=256)
+        )
+        result = diamond_objective.evaluate(starved)
+        assert not result.slo_met or result.cost > 0  # slow branch violates the 30s SLO
+        assert not result.feasible or result.slo_met
+
+    def test_oom_marks_not_succeeded(self, diamond_objective, diamond_base_configuration):
+        starved = diamond_base_configuration.updated(
+            "left", ResourceConfig(vcpu=4, memory_mb=128)
+        )
+        result = diamond_objective.evaluate(starved)
+        assert not result.succeeded
+        assert not result.feasible
+
+    def test_path_metrics(self, diamond_objective, diamond_base_configuration):
+        result = diamond_objective.evaluate(diamond_base_configuration)
+        runtimes = result.trace.runtimes()
+        assert result.path_runtime(["entry", "left"]) == pytest.approx(
+            runtimes["entry"] + runtimes["left"]
+        )
+        assert result.path_cost(["entry"]) == pytest.approx(result.trace.record("entry").cost)
+
+    def test_make_result_with_and_without_best(self, diamond_objective,
+                                               diamond_base_configuration):
+        none_result = diamond_objective.make_result("X", None)
+        assert not none_result.found_feasible
+        assert "no feasible" in none_result.summary()
+
+        best = diamond_objective.evaluate(diamond_base_configuration)
+        result = diamond_objective.make_result("X", best)
+        assert result.found_feasible
+        assert result.best_cost == best.cost
+        assert result.sample_count == diamond_objective.sample_count
+        assert "X on diamond" in result.summary()
+
+
+class TestSearchHistory:
+    def _sample_result(self, objective, configuration):
+        return objective.evaluate(configuration)
+
+    def test_series_lengths(self, diamond_objective, diamond_base_configuration):
+        for _ in range(4):
+            diamond_objective.evaluate(diamond_base_configuration)
+        history = diamond_objective.history
+        assert len(history.runtime_series()) == 4
+        assert len(history.cost_series()) == 4
+        assert len(history.best_feasible_cost_series()) == 4
+
+    def test_best_feasible_tracks_minimum_cost(self, diamond_objective,
+                                               diamond_base_configuration):
+        cheap = diamond_base_configuration.updated(
+            "right", ResourceConfig(vcpu=0.5, memory_mb=256)
+        )
+        diamond_objective.evaluate(diamond_base_configuration)
+        diamond_objective.evaluate(cheap)
+        best = diamond_objective.history.best_feasible()
+        assert best is not None
+        assert best.cost == min(s.cost for s in diamond_objective.history.samples if s.feasible)
+
+    def test_best_feasible_none_when_all_infeasible(self):
+        history = SearchHistory()
+        assert history.best_feasible() is None
+        assert history.feasible_fraction() == 0.0
+        assert history.cost_fluctuation_amplitude() == 0.0
+
+    def test_fluctuation_amplitude(self, diamond_objective, diamond_base_configuration):
+        cheap = diamond_base_configuration.updated(
+            "right", ResourceConfig(vcpu=0.5, memory_mb=256)
+        )
+        diamond_objective.evaluate(diamond_base_configuration)
+        diamond_objective.evaluate(cheap)
+        diamond_objective.evaluate(diamond_base_configuration)
+        history = diamond_objective.history
+        costs = history.cost_series()
+        expected = (abs(costs[1] - costs[0]) + abs(costs[2] - costs[1])) / 2
+        assert history.cost_fluctuation_amplitude() == pytest.approx(expected)
+
+    def test_phases_recorded(self, diamond_objective, diamond_base_configuration):
+        diamond_objective.evaluate(diamond_base_configuration, phase="profiling")
+        assert diamond_objective.history.samples[0].phase == "profiling"

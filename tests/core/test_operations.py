@@ -1,0 +1,122 @@
+"""Tests for adjustment operations and the operation priority queue."""
+
+import math
+
+import pytest
+
+from repro.core.operations import AdjustmentOperation, OperationQueue, ResourceType
+
+
+def make_op(name="f", resource=ResourceType.CPU, step=0.5, trials=3):
+    return AdjustmentOperation(
+        function_name=name, resource_type=resource, step_fraction=step, trials_remaining=trials
+    )
+
+
+class TestAdjustmentOperation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_op(step=0.0)
+        with pytest.raises(ValueError):
+            make_op(step=1.5)
+        with pytest.raises(ValueError):
+            make_op(trials=-1)
+
+    def test_back_off_halves_step_and_consumes_trial(self):
+        op = make_op(step=0.4, trials=2)
+        op.back_off()
+        assert op.step_fraction == pytest.approx(0.2)
+        assert op.trials_remaining == 1
+        assert not op.exhausted
+        op.back_off()
+        assert op.exhausted
+
+    def test_back_off_custom_decay(self):
+        op = make_op(step=0.8)
+        op.back_off(decay=0.25)
+        assert op.step_fraction == pytest.approx(0.2)
+
+    def test_back_off_invalid_decay(self):
+        with pytest.raises(ValueError):
+            make_op().back_off(decay=1.0)
+
+    def test_step_never_reaches_zero(self):
+        op = make_op(step=0.5, trials=100)
+        for _ in range(60):
+            op.back_off()
+        assert op.step_fraction > 0
+
+    def test_counters(self):
+        op = make_op()
+        op.record_attempt()
+        op.record_attempt()
+        op.record_acceptance()
+        assert op.attempts == 2
+        assert op.accepted == 1
+
+    def test_describe(self):
+        text = make_op(name="fn", resource=ResourceType.MEMORY).describe()
+        assert "fn" in text and "mem" in text
+
+
+class TestOperationQueue:
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            OperationQueue().pop()
+
+    def test_negative_priority_rejected(self):
+        queue = OperationQueue()
+        with pytest.raises(ValueError):
+            queue.push(make_op(), priority=-1)
+
+    def test_highest_priority_first(self):
+        queue = OperationQueue()
+        low = make_op("low")
+        high = make_op("high")
+        queue.push(low, priority=1.0)
+        queue.push(high, priority=10.0)
+        popped, priority = queue.pop()
+        assert popped is high
+        assert priority == 10.0
+
+    def test_infinite_priority_beats_finite(self):
+        queue = OperationQueue()
+        fresh = make_op("fresh")
+        seen = make_op("seen")
+        queue.push(seen, priority=100.0)
+        queue.push(fresh, priority=math.inf)
+        assert queue.pop()[0] is fresh
+
+    def test_fifo_tie_break(self):
+        queue = OperationQueue()
+        first = make_op("first")
+        second = make_op("second")
+        queue.push(first, priority=5.0)
+        queue.push(second, priority=5.0)
+        assert queue.pop()[0] is first
+        assert queue.pop()[0] is second
+
+    def test_len_and_bool(self):
+        queue = OperationQueue()
+        assert not queue
+        assert len(queue) == 0
+        queue.push(make_op())
+        assert queue
+        assert len(queue) == 1
+
+    def test_peek_priority(self):
+        queue = OperationQueue()
+        assert queue.peek_priority() is None
+        queue.push(make_op(), priority=3.0)
+        assert queue.peek_priority() == 3.0
+        assert len(queue) == 1  # peek does not consume
+
+    def test_drain_returns_priority_order(self):
+        queue = OperationQueue()
+        ops = [make_op(str(i)) for i in range(3)]
+        queue.push(ops[0], priority=1)
+        queue.push(ops[1], priority=3)
+        queue.push(ops[2], priority=2)
+        drained = queue.drain()
+        assert [op.function_name for op in drained] == ["1", "2", "0"]
+        assert len(queue) == 0

@@ -1,0 +1,140 @@
+"""Tests for the Graph-Centric Scheduler (Algorithm 1) and the AARC facade."""
+
+import pytest
+
+from repro.core.aarc import AARC, AARCOptions
+from repro.core.config_space import ConfigurationSpace
+from repro.core.configurator import PriorityConfiguratorOptions
+from repro.core.objective import WorkflowObjective
+from repro.core.scheduler import GraphCentricScheduler, SchedulerOptions
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workflow.slo import SLO
+
+
+class TestBaseConfiguration:
+    def test_default_base_applied_to_every_function(self, diamond_objective):
+        scheduler = GraphCentricScheduler()
+        configuration = scheduler._base_configuration(diamond_objective)
+        assert set(configuration.keys()) == set(diamond_objective.function_names)
+        base = ConfigurationSpace().default_base_config()
+        assert all(cfg == base for cfg in configuration.values())
+
+    def test_explicit_base_config(self, diamond_objective):
+        base = ResourceConfig(vcpu=8, memory_mb=8192)
+        scheduler = GraphCentricScheduler(options=SchedulerOptions(base_config=base))
+        configuration = scheduler._base_configuration(diamond_objective)
+        assert configuration["left"] == base
+
+    def test_per_function_override(self, diamond_objective):
+        override = WorkflowConfiguration({"left": ResourceConfig(vcpu=8, memory_mb=4096)})
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(
+                base_config=ResourceConfig(2, 1024), base_configuration=override
+            )
+        )
+        configuration = scheduler._base_configuration(diamond_objective)
+        assert configuration["left"].vcpu == 8
+        assert configuration["right"].vcpu == 2
+
+    def test_base_config_snapped_to_grid(self, diamond_objective):
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(vcpu=3.14159, memory_mb=3000))
+        )
+        configuration = scheduler._base_configuration(diamond_objective)
+        assert ConfigurationSpace().contains(configuration["entry"])
+
+
+class TestSchedule:
+    def test_finds_cheaper_feasible_configuration(self, diamond_objective):
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(4, 2048))
+        )
+        result = scheduler.schedule(diamond_objective)
+        assert result.found_feasible
+        base_sample = diamond_objective.history.samples[0]
+        assert result.best_cost < base_sample.cost
+        assert result.best_runtime_seconds <= diamond_objective.slo.latency_limit
+        assert result.method == "AARC"
+
+    def test_every_function_configured(self, diamond_objective):
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(4, 2048))
+        )
+        result = scheduler.schedule(diamond_objective)
+        assert set(result.best_configuration.keys()) == set(diamond_objective.function_names)
+
+    def test_profiling_sample_recorded_first(self, diamond_objective):
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(4, 2048))
+        )
+        scheduler.schedule(diamond_objective)
+        assert diamond_objective.history.samples[0].phase == "profiling"
+        phases = {s.phase for s in diamond_objective.history.samples}
+        assert "critical-path" in phases
+
+    def test_subpath_phase_present_for_diamond(self, diamond_objective):
+        # The diamond has a detour (the branch not on the critical path), so at
+        # least one sub-path configuration sample is expected unless its budget
+        # collapses entirely.
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(4, 2048))
+        )
+        result = scheduler.schedule(diamond_objective)
+        phases = [s.phase for s in diamond_objective.history.samples]
+        assert result.found_feasible
+        assert "sub-path" in phases
+
+    def test_oom_base_configuration_raises(self, diamond_executor, diamond_workflow):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=SLO(30.0)
+        )
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(vcpu=4, memory_mb=128))
+        )
+        with pytest.raises(RuntimeError):
+            scheduler.schedule(objective)
+
+    def test_infeasible_slo_reports_no_feasible_result(self, diamond_executor,
+                                                       diamond_workflow):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=SLO(0.001)
+        )
+        scheduler = GraphCentricScheduler(
+            options=SchedulerOptions(base_config=ResourceConfig(4, 2048))
+        )
+        result = scheduler.schedule(objective)
+        assert not result.found_feasible
+
+    def test_deterministic_across_runs(self, diamond_executor, diamond_workflow, diamond_slo):
+        results = []
+        for _ in range(2):
+            objective = WorkflowObjective(
+                executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+            )
+            scheduler = GraphCentricScheduler(
+                options=SchedulerOptions(base_config=ResourceConfig(4, 2048))
+            )
+            results.append(scheduler.schedule(objective))
+        assert results[0].best_cost == results[1].best_cost
+        assert results[0].best_configuration == results[1].best_configuration
+        assert results[0].sample_count == results[1].sample_count
+
+
+class TestAARCFacade:
+    def test_search_delegates_to_scheduler(self, diamond_objective):
+        searcher = AARC(
+            options=AARCOptions(scheduler=SchedulerOptions(base_config=ResourceConfig(4, 2048)))
+        )
+        result = searcher.search(diamond_objective)
+        assert result.found_feasible
+        assert result.method == "AARC"
+        assert searcher.name == "AARC"
+
+    def test_configurator_options_forwarded(self):
+        options = AARCOptions(configurator=PriorityConfiguratorOptions(max_trail=7))
+        searcher = AARC(options=options)
+        assert searcher.scheduler.configurator.options.max_trail == 7
+
+    def test_default_construction(self):
+        searcher = AARC()
+        assert isinstance(searcher.config_space, ConfigurationSpace)

@@ -1,0 +1,93 @@
+"""Tests for the container warm-pool model."""
+
+import pytest
+
+from repro.execution.container import Container, ContainerPool
+from repro.workflow.resources import ResourceConfig
+
+
+CONFIG = ResourceConfig(vcpu=1, memory_mb=512)
+OTHER_CONFIG = ResourceConfig(vcpu=2, memory_mb=512)
+
+
+class TestContainer:
+    def test_record_invocation_moves_last_used(self):
+        container = Container(1, "f", CONFIG, created_at=0.0, last_used_at=0.0)
+        container.record_invocation(5.0)
+        assert container.last_used_at == 5.0
+        assert container.invocations == 1
+
+    def test_record_invocation_cannot_go_backwards(self):
+        container = Container(1, "f", CONFIG, created_at=0.0, last_used_at=10.0)
+        with pytest.raises(ValueError):
+            container.record_invocation(5.0)
+
+    def test_warmth_window(self):
+        container = Container(1, "f", CONFIG, created_at=0.0, last_used_at=0.0)
+        assert container.is_warm_at(100.0, keep_alive_seconds=600.0)
+        assert not container.is_warm_at(601.0, keep_alive_seconds=600.0)
+
+
+class TestContainerPool:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ContainerPool(keep_alive_seconds=-1)
+        with pytest.raises(ValueError):
+            ContainerPool(max_containers_per_function=0)
+
+    def test_first_acquire_is_cold(self):
+        pool = ContainerPool()
+        _, cold = pool.acquire("f", CONFIG, timestamp=0.0)
+        assert cold
+        assert pool.cold_starts == 1
+
+    def test_reuse_within_keep_alive_is_warm(self):
+        pool = ContainerPool(keep_alive_seconds=100.0)
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=10.0)
+        _, cold = pool.acquire("f", CONFIG, timestamp=50.0)
+        assert not cold
+        assert pool.warm_hits == 1
+
+    def test_expired_container_triggers_cold_start(self):
+        pool = ContainerPool(keep_alive_seconds=100.0)
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=10.0)
+        _, cold = pool.acquire("f", CONFIG, timestamp=500.0)
+        assert cold
+        assert pool.evictions >= 1
+
+    def test_different_configuration_is_not_reused(self):
+        pool = ContainerPool()
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=1.0)
+        _, cold = pool.acquire("f", OTHER_CONFIG, timestamp=2.0)
+        assert cold
+
+    def test_different_function_is_not_reused(self):
+        pool = ContainerPool()
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=1.0)
+        _, cold = pool.acquire("g", CONFIG, timestamp=2.0)
+        assert cold
+
+    def test_capacity_enforced(self):
+        pool = ContainerPool(max_containers_per_function=2)
+        for i in range(5):
+            container, _ = pool.acquire("f", ResourceConfig(1 + i, 512), timestamp=float(i))
+            pool.release(container, finish_time=float(i) + 0.5)
+        assert pool.warm_count("f", timestamp=10.0) <= 2
+
+    def test_warm_count(self):
+        pool = ContainerPool(keep_alive_seconds=10.0)
+        a, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(a, 1.0)
+        assert pool.warm_count("f", timestamp=5.0) == 1
+        assert pool.warm_count("f", timestamp=50.0) == 0
+
+    def test_clear(self):
+        pool = ContainerPool()
+        pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.clear()
+        _, cold = pool.acquire("f", CONFIG, timestamp=1.0)
+        assert cold

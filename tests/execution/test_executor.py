@@ -1,0 +1,155 @@
+"""Tests for the workflow executor."""
+
+import pytest
+
+from repro.execution.executor import ExecutorOptions, WorkflowExecutor
+from repro.execution.trace import ExecutionStatus
+from repro.perfmodel.base import OutOfMemoryError
+from repro.perfmodel.noise import LognormalNoise
+from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.pricing.model import PAPER_PRICING
+from repro.utils.rng import RngStream
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+
+
+class TestBasicExecution:
+    def test_latency_matches_critical_path(self, diamond_workflow, diamond_executor,
+                                            diamond_base_configuration, diamond_registry):
+        trace = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        assert trace.succeeded
+        config = diamond_base_configuration["left"]
+        runtimes = {
+            name: diamond_registry.runtime(name, diamond_base_configuration[name])
+            for name in diamond_workflow.function_names
+        }
+        assert trace.end_to_end_latency == pytest.approx(diamond_workflow.makespan(runtimes))
+        assert trace.record("left").config == config
+
+    def test_cost_matches_pricing_model(self, diamond_workflow, diamond_executor,
+                                        diamond_base_configuration):
+        trace = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        expected = PAPER_PRICING.workflow_cost(trace.runtimes(), diamond_base_configuration)
+        assert trace.total_cost == pytest.approx(expected)
+
+    def test_parallel_branches_overlap(self, diamond_workflow, diamond_executor,
+                                       diamond_base_configuration):
+        trace = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        left = trace.record("left")
+        right = trace.record("right")
+        assert left.start_time == right.start_time
+        exit_record = trace.record("exit")
+        assert exit_record.start_time == pytest.approx(max(left.finish_time, right.finish_time))
+
+    def test_missing_configuration_raises(self, diamond_workflow, diamond_executor):
+        partial = WorkflowConfiguration({"entry": ResourceConfig(1, 512)})
+        with pytest.raises(KeyError):
+            diamond_executor.execute(diamond_workflow, partial)
+
+    def test_execution_counter_increments(self, diamond_workflow, diamond_executor,
+                                          diamond_base_configuration):
+        assert diamond_executor.executions == 0
+        diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        assert diamond_executor.executions == 2
+
+    def test_trigger_time_offsets_trace(self, diamond_workflow, diamond_executor,
+                                        diamond_base_configuration):
+        trace = diamond_executor.execute(
+            diamond_workflow, diamond_base_configuration, trigger_time=100.0
+        )
+        assert trace.record("entry").start_time == 100.0
+        assert trace.end_to_end_latency > 100.0
+
+    def test_input_scale_slows_execution(self, diamond_workflow, diamond_executor,
+                                         diamond_base_configuration):
+        small = diamond_executor.execute(diamond_workflow, diamond_base_configuration,
+                                         input_scale=1.0)
+        large = diamond_executor.execute(diamond_workflow, diamond_base_configuration,
+                                         input_scale=2.0)
+        assert large.end_to_end_latency > small.end_to_end_latency
+
+
+class TestOomHandling:
+    def _starved(self, diamond_base_configuration):
+        # left's working set is 256 MB; give it less.
+        return diamond_base_configuration.updated("left", ResourceConfig(vcpu=4, memory_mb=128))
+
+    def test_oom_marks_function_and_skips_dependents(self, diamond_workflow, diamond_executor,
+                                                     diamond_base_configuration):
+        trace = diamond_executor.execute(
+            diamond_workflow, self._starved(diamond_base_configuration)
+        )
+        assert not trace.succeeded
+        assert trace.record("left").status is ExecutionStatus.OOM
+        assert trace.record("exit").status is ExecutionStatus.SKIPPED
+        assert trace.record("right").status is ExecutionStatus.SUCCESS
+
+    def test_oom_billed_when_configured(self, diamond_workflow, diamond_registry,
+                                        diamond_base_configuration):
+        executor = WorkflowExecutor(
+            diamond_registry,
+            options=ExecutorOptions(charge_failed_invocations=True),
+        )
+        trace = executor.execute(diamond_workflow, self._starved(diamond_base_configuration))
+        assert trace.record("left").cost > 0
+
+    def test_oom_not_billed_when_disabled(self, diamond_workflow, diamond_registry,
+                                          diamond_base_configuration):
+        executor = WorkflowExecutor(
+            diamond_registry,
+            options=ExecutorOptions(charge_failed_invocations=False),
+        )
+        trace = executor.execute(diamond_workflow, self._starved(diamond_base_configuration))
+        assert trace.record("left").cost == 0.0
+
+    def test_fail_fast_propagates(self, diamond_workflow, diamond_registry,
+                                  diamond_base_configuration):
+        executor = WorkflowExecutor(
+            diamond_registry, options=ExecutorOptions(fail_fast_on_oom=True)
+        )
+        with pytest.raises(OutOfMemoryError):
+            executor.execute(diamond_workflow, self._starved(diamond_base_configuration))
+
+
+class TestColdStarts:
+    def test_cold_start_adds_latency_once(self, diamond_workflow, diamond_registry,
+                                          diamond_base_configuration):
+        executor = WorkflowExecutor(
+            diamond_registry, options=ExecutorOptions(simulate_cold_starts=True)
+        )
+        first = executor.execute(diamond_workflow, diamond_base_configuration)
+        trigger = first.end_to_end_latency + 1.0
+        second = executor.execute(diamond_workflow, diamond_base_configuration,
+                                  trigger_time=trigger)
+        assert first.cold_start_count == len(diamond_workflow)
+        assert second.cold_start_count == 0
+        # Without cold starts the same workflow finishes faster (latencies are
+        # absolute finish times, so subtract the trigger offset).
+        assert first.end_to_end_latency > second.end_to_end_latency - trigger
+
+    def test_warm_disabled_by_default(self, diamond_workflow, diamond_executor,
+                                      diamond_base_configuration):
+        trace = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        assert trace.cold_start_count == 0
+
+
+class TestNoise:
+    def test_noisy_executions_vary_but_are_seed_reproducible(self, diamond_workflow,
+                                                             diamond_profiles,
+                                                             diamond_base_configuration):
+        registry = PerformanceModelRegistry.from_profiles(
+            diamond_profiles, noise=LognormalNoise(0.05)
+        )
+        executor = WorkflowExecutor(registry)
+        a = executor.execute(diamond_workflow, diamond_base_configuration, rng=RngStream(1))
+        b = executor.execute(diamond_workflow, diamond_base_configuration, rng=RngStream(1))
+        c = executor.execute(diamond_workflow, diamond_base_configuration, rng=RngStream(2))
+        assert a.end_to_end_latency == b.end_to_end_latency
+        assert a.end_to_end_latency != c.end_to_end_latency
+
+    def test_deterministic_without_rng(self, diamond_workflow, diamond_executor,
+                                       diamond_base_configuration):
+        a = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        b = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
+        assert a.end_to_end_latency == b.end_to_end_latency
+        assert a.total_cost == b.total_cost

@@ -1,0 +1,107 @@
+"""Tests for execution trace records."""
+
+import pytest
+
+from repro.execution.trace import ExecutionStatus, ExecutionTrace, FunctionExecution
+from repro.workflow.resources import ResourceConfig
+
+
+def record(name, start, runtime, cost=1.0, status=ExecutionStatus.SUCCESS, cold=False):
+    return FunctionExecution(
+        function_name=name,
+        config=ResourceConfig(1, 256),
+        start_time=start,
+        finish_time=start + runtime,
+        runtime_seconds=runtime,
+        cost=cost,
+        status=status,
+        cold_start=cold,
+    )
+
+
+class TestFunctionExecution:
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            record("f", 0.0, -1.0)
+
+    def test_finish_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionExecution(
+                function_name="f",
+                config=ResourceConfig(1, 256),
+                start_time=5.0,
+                finish_time=1.0,
+                runtime_seconds=1.0,
+                cost=0.0,
+            )
+
+    def test_succeeded_property(self):
+        assert record("f", 0, 1).succeeded
+        assert not record("f", 0, 1, status=ExecutionStatus.OOM).succeeded
+
+
+class TestExecutionTrace:
+    def test_duplicate_record_rejected(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 1))
+        with pytest.raises(ValueError):
+            trace.add(record("a", 1, 1))
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace("w")
+        assert not trace.succeeded
+        assert trace.end_to_end_latency == 0.0
+        assert trace.total_cost == 0.0
+
+    def test_latency_is_latest_finish(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 2))
+        trace.add(record("b", 2, 5))
+        assert trace.end_to_end_latency == 7.0
+
+    def test_total_cost_and_billed_seconds(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 2, cost=3.0))
+        trace.add(record("b", 2, 5, cost=4.0))
+        assert trace.total_cost == 7.0
+        assert trace.total_billed_seconds == 7.0
+
+    def test_failure_tracking(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 1))
+        trace.add(record("b", 1, 1, status=ExecutionStatus.OOM))
+        trace.add(record("c", 2, 0, status=ExecutionStatus.SKIPPED))
+        assert not trace.succeeded
+        assert set(trace.failed_functions) == {"b", "c"}
+
+    def test_cold_start_count(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 1, cold=True))
+        trace.add(record("b", 1, 1))
+        assert trace.cold_start_count == 1
+
+    def test_runtimes_view(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 2.5))
+        assert trace.runtimes() == {"a": 2.5}
+
+    def test_function_names_ordered_by_start(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("late", 5, 1))
+        trace.add(record("early", 0, 1))
+        assert trace.function_names() == ["early", "late"]
+
+    def test_critical_path_estimate_follows_chain(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 2))
+        trace.add(record("b", 2, 3))
+        trace.add(record("c", 2, 1))
+        assert trace.critical_path_estimate() == ["a", "b"]
+
+    def test_summary_mentions_status(self):
+        trace = ExecutionTrace("w")
+        trace.add(record("a", 0, 1))
+        assert "ok" in trace.summary()
+        trace2 = ExecutionTrace("w")
+        trace2.add(record("a", 0, 1, status=ExecutionStatus.OOM))
+        assert "FAILED" in trace2.summary()

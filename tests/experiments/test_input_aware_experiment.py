@@ -1,0 +1,60 @@
+"""Tests for the input-aware configuration experiment (Fig. 8 data)."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.input_aware_experiment import run_input_aware_experiment
+from repro.experiments.reporting import render_input_aware
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    # AARC (input-aware) against MAFF (fixed configuration) on a short stream.
+    return run_input_aware_experiment(
+        methods=["AARC", "MAFF"],
+        n_requests=9,
+        settings=ExperimentSettings(seed=13, maff_samples=40),
+    )
+
+
+class TestInputAwareExperiment:
+    def test_outcomes_per_method(self, comparison):
+        assert set(comparison.methods) == {"AARC", "MAFF"}
+        for method in comparison.methods:
+            outcome = comparison.outcome(method)
+            assert outcome.n_requests == 9
+            assert len(outcome.costs) == 9
+
+    def test_request_classes_cover_all_three(self, comparison):
+        outcome = comparison.outcome("AARC")
+        assert set(outcome.request_classes) == {"light", "middle", "heavy"}
+
+    def test_aarc_never_violates_slo(self, comparison):
+        assert comparison.outcome("AARC").violation_count() == 0
+
+    def test_aarc_cheaper_on_light_inputs(self, comparison):
+        # The input-aware engine right-sizes light requests; a fixed
+        # configuration sized for the standard input overspends on them.
+        reduction = comparison.cost_reduction_vs("MAFF", "light")
+        assert reduction > 0.0
+
+    def test_mean_cost_by_class_structure(self, comparison):
+        by_class = comparison.outcome("AARC").mean_cost_by_class()
+        assert set(by_class.keys()) == {"light", "middle", "heavy"}
+        assert by_class["heavy"] > by_class["light"]
+
+    def test_mean_runtime_by_class_monotone(self, comparison):
+        by_class = comparison.outcome("MAFF").mean_runtime_by_class()
+        assert by_class["heavy"] > by_class["light"]
+
+    def test_violation_rate_definition(self, comparison):
+        outcome = comparison.outcome("MAFF")
+        assert outcome.violation_rate() == pytest.approx(
+            outcome.violation_count() / outcome.n_requests
+        )
+
+    def test_rendering(self, comparison):
+        text = render_input_aware(comparison)
+        assert "Fig. 8" in text
+        assert "SLO violations" in text
+        assert "mean cost per input class" in text

@@ -1,0 +1,63 @@
+"""Tests for the Table II optimal-configuration evaluation."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.optimal_experiment import (
+    evaluate_optimal_configurations,
+    stats_by_workload,
+)
+from repro.experiments.reporting import render_table2
+from repro.experiments.search_experiment import run_search_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    settings = ExperimentSettings(seed=11, bo_samples=12, maff_samples=40)
+    return run_search_comparison(
+        workloads=["chatbot"], methods=["AARC", "MAFF"], settings=settings
+    )
+
+
+class TestEvaluateOptimalConfigurations:
+    def test_row_per_method(self, comparison):
+        stats = evaluate_optimal_configurations(comparison, n_runs=10)
+        assert {s.method for s in stats} == {"AARC", "MAFF"}
+        assert all(s.n_runs == 10 for s in stats)
+
+    def test_statistics_sane(self, comparison):
+        stats = evaluate_optimal_configurations(comparison, n_runs=10, noise_cv=0.02)
+        for row in stats:
+            assert row.mean_runtime_seconds > 0
+            assert row.std_runtime_seconds >= 0
+            assert row.std_runtime_seconds < row.mean_runtime_seconds * 0.2
+            assert row.mean_cost > 0
+            assert 0 <= row.slo_violation_rate <= 1
+
+    def test_slo_compliance_of_discovered_configurations(self, comparison):
+        stats = evaluate_optimal_configurations(comparison, n_runs=10)
+        for row in stats:
+            assert row.meets_slo_on_average
+            assert row.slo_violation_rate <= 0.2
+
+    def test_deterministic_given_seed(self, comparison):
+        a = evaluate_optimal_configurations(comparison, n_runs=5)
+        b = evaluate_optimal_configurations(comparison, n_runs=5)
+        assert [r.mean_runtime_seconds for r in a] == [r.mean_runtime_seconds for r in b]
+
+    def test_zero_noise_gives_zero_std(self, comparison):
+        stats = evaluate_optimal_configurations(comparison, n_runs=5, noise_cv=0.0)
+        assert all(r.std_runtime_seconds == pytest.approx(0.0) for r in stats)
+
+    def test_filters(self, comparison):
+        stats = evaluate_optimal_configurations(comparison, n_runs=3, methods=["AARC"])
+        assert {s.method for s in stats} == {"AARC"}
+
+    def test_index_and_rendering(self, comparison):
+        stats = evaluate_optimal_configurations(comparison, n_runs=3)
+        indexed = stats_by_workload(stats)
+        assert "chatbot" in indexed
+        assert "AARC" in indexed["chatbot"]
+        table = render_table2(stats)
+        assert "Table II" in table
+        assert "AARC" in table

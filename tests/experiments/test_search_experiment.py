@@ -1,0 +1,59 @@
+"""Tests for the search comparison experiment (Figs. 5-7 data)."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.reporting import render_search_totals, render_trajectories
+from repro.experiments.search_experiment import run_search_comparison
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    """AARC vs MAFF on the chatbot only — keeps the experiment tests quick."""
+    settings = ExperimentSettings(seed=7, bo_samples=12, maff_samples=40)
+    return run_search_comparison(
+        workloads=["chatbot"], methods=["AARC", "MAFF"], settings=settings
+    )
+
+
+class TestRunSearchComparison:
+    def test_contains_requested_runs(self, small_comparison):
+        assert small_comparison.workloads == ["chatbot"]
+        assert small_comparison.methods("chatbot") == ["AARC", "MAFF"]
+
+    def test_totals_rows(self, small_comparison):
+        rows = small_comparison.totals()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["samples"] > 0
+            assert row["total_runtime_seconds"] > 0
+            assert row["total_cost"] > 0
+
+    def test_run_lookup_and_trajectories(self, small_comparison):
+        run = small_comparison.run("chatbot", "AARC")
+        assert run.sample_count == len(run.runtime_trajectory())
+        assert run.sample_count == len(run.cost_trajectory())
+        assert run.best_cost_trajectory()[-1] <= run.cost_trajectory()[0]
+
+    def test_reduction_helpers(self, small_comparison):
+        runtime_reduction = small_comparison.runtime_reduction_vs("chatbot", "MAFF")
+        cost_reduction = small_comparison.best_cost_reduction_vs("chatbot", "MAFF")
+        assert -10.0 < runtime_reduction < 1.0
+        assert -1.0 < cost_reduction < 1.0
+
+    def test_aarc_configuration_cheaper_than_maff(self, small_comparison):
+        aarc = small_comparison.run("chatbot", "AARC").result
+        maff = small_comparison.run("chatbot", "MAFF").result
+        assert aarc.found_feasible and maff.found_feasible
+        assert aarc.best_cost < maff.best_cost
+
+    def test_renderers_produce_text(self, small_comparison):
+        totals = render_search_totals(small_comparison)
+        assert "Fig. 5" in totals
+        assert "chatbot" in totals
+        runtime_series = render_trajectories(small_comparison, kind="runtime")
+        cost_series = render_trajectories(small_comparison, kind="cost")
+        assert "Fig. 6" in runtime_series
+        assert "Fig. 7" in cost_series
+        with pytest.raises(ValueError):
+            render_trajectories(small_comparison, kind="latency")

@@ -1,0 +1,74 @@
+"""Tests for the acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers.acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+)
+from repro.optimizers.gp import GaussianProcessRegressor, RBFKernel
+
+
+@pytest.fixture
+def fitted_model():
+    x = np.array([[0.1], [0.4], [0.9]])
+    y = np.array([5.0, 2.0, 8.0])
+    model = GaussianProcessRegressor(kernel=RBFKernel(0.2))
+    return model.fit(x, y)
+
+
+class TestExpectedImprovement:
+    def test_negative_xi_rejected(self):
+        with pytest.raises(ValueError):
+            ExpectedImprovement(xi=-0.1)
+
+    def test_non_negative_scores(self, fitted_model):
+        scores = ExpectedImprovement().score(
+            fitted_model, np.linspace(0, 1, 20).reshape(-1, 1), best_observed=2.0
+        )
+        assert np.all(scores >= 0)
+
+    def test_prefers_promising_region(self, fitted_model):
+        ei = ExpectedImprovement()
+        candidates = np.array([[0.4], [0.9]])
+        scores = ei.score(fitted_model, candidates, best_observed=2.0)
+        # Region near the observed minimum (0.4) should beat the known-bad 0.9.
+        assert scores[0] >= scores[1]
+
+    def test_unexplored_region_has_positive_ei(self, fitted_model):
+        scores = ExpectedImprovement().score(
+            fitted_model, np.array([[0.65]]), best_observed=2.0
+        )
+        assert scores[0] > 0
+
+
+class TestProbabilityOfImprovement:
+    def test_scores_are_probabilities(self, fitted_model):
+        scores = ProbabilityOfImprovement().score(
+            fitted_model, np.linspace(0, 1, 15).reshape(-1, 1), best_observed=2.0
+        )
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_negative_xi_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilityOfImprovement(xi=-1)
+
+
+class TestLowerConfidenceBound:
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            LowerConfidenceBound(kappa=-1)
+
+    def test_higher_kappa_rewards_uncertainty(self, fitted_model):
+        candidates = np.array([[0.65]])  # far from observations
+        cautious = LowerConfidenceBound(kappa=0.0).score(fitted_model, candidates, 2.0)
+        exploratory = LowerConfidenceBound(kappa=5.0).score(fitted_model, candidates, 2.0)
+        assert exploratory[0] > cautious[0]
+
+    def test_prefers_low_mean_when_kappa_zero(self, fitted_model):
+        scores = LowerConfidenceBound(kappa=0.0).score(
+            fitted_model, np.array([[0.4], [0.9]]), best_observed=2.0
+        )
+        assert scores[0] > scores[1]

@@ -1,0 +1,96 @@
+"""Tests for the Bayesian Optimization baseline."""
+
+import pytest
+
+from repro.core.objective import WorkflowObjective
+from repro.optimizers.bayesian import BayesianOptimizer, BayesianOptimizerOptions
+
+
+class TestOptionsValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizerOptions(max_samples=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizerOptions(n_initial_samples=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizerOptions(n_initial_samples=20, max_samples=10)
+        with pytest.raises(ValueError):
+            BayesianOptimizerOptions(n_candidates=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizerOptions(kernel_length_scale=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizerOptions(slo_penalty_factor=-1)
+
+
+class TestSearch:
+    def _options(self, **overrides):
+        defaults = dict(max_samples=15, n_initial_samples=4, n_candidates=64, seed=3)
+        defaults.update(overrides)
+        return BayesianOptimizerOptions(**defaults)
+
+    def test_uses_exactly_the_sample_budget(self, diamond_objective):
+        optimizer = BayesianOptimizer(options=self._options())
+        result = optimizer.search(diamond_objective)
+        assert result.sample_count == 15
+        assert result.method == "BO"
+
+    def test_finds_a_feasible_configuration(self, diamond_objective):
+        optimizer = BayesianOptimizer(options=self._options())
+        result = optimizer.search(diamond_objective)
+        assert result.found_feasible
+        assert result.best_runtime_seconds <= diamond_objective.slo.latency_limit
+        assert result.best_cost > 0
+
+    def test_respects_objective_budget(self, diamond_executor, diamond_workflow, diamond_slo):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo, max_samples=6
+        )
+        optimizer = BayesianOptimizer(options=self._options(max_samples=50))
+        result = optimizer.search(objective)
+        assert result.sample_count == 6
+
+    def test_deterministic_for_fixed_seed(self, diamond_executor, diamond_workflow,
+                                          diamond_slo):
+        costs = []
+        for _ in range(2):
+            objective = WorkflowObjective(
+                executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+            )
+            result = BayesianOptimizer(options=self._options(seed=11)).search(objective)
+            costs.append(result.best_cost)
+        assert costs[0] == costs[1]
+
+    def test_different_seeds_explore_differently(self, diamond_executor, diamond_workflow,
+                                                 diamond_slo):
+        histories = []
+        for seed in (1, 2):
+            objective = WorkflowObjective(
+                executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+            )
+            BayesianOptimizer(options=self._options(seed=seed)).search(objective)
+            histories.append(tuple(objective.history.cost_series()))
+        assert histories[0] != histories[1]
+
+    def test_generous_initial_guarantees_feasible_sample(self, diamond_objective):
+        optimizer = BayesianOptimizer(
+            options=self._options(max_samples=5, n_initial_samples=4)
+        )
+        result = optimizer.search(diamond_objective)
+        # The over-provisioned seed point is always feasible for a reachable SLO.
+        assert result.found_feasible
+
+    def test_without_generous_initial(self, diamond_objective):
+        optimizer = BayesianOptimizer(
+            options=self._options(include_generous_initial=False)
+        )
+        result = optimizer.search(diamond_objective)
+        assert result.sample_count == 15
+
+    def test_improves_over_random_initialisation(self, diamond_objective):
+        optimizer = BayesianOptimizer(options=self._options(max_samples=30))
+        result = optimizer.search(diamond_objective)
+        history = result.history
+        initial_best = min(
+            (s.cost for s in history.samples[:5] if s.feasible), default=float("inf")
+        )
+        assert result.best_cost <= initial_best

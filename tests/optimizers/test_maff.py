@@ -1,0 +1,112 @@
+"""Tests for the MAFF coupled gradient-descent baseline."""
+
+import pytest
+
+from repro.core.objective import WorkflowObjective
+from repro.optimizers.maff import MAFFOptimizer, MAFFOptions
+from repro.workflow.resources import coupled_cpu_for_memory
+
+
+class TestOptionsValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            MAFFOptions(initial_memory_mb=0)
+        with pytest.raises(ValueError):
+            MAFFOptions(memory_step_fraction=0)
+        with pytest.raises(ValueError):
+            MAFFOptions(memory_step_fraction=1.0)
+        with pytest.raises(ValueError):
+            MAFFOptions(min_step_mb=0)
+        with pytest.raises(ValueError):
+            MAFFOptions(max_samples=0)
+        with pytest.raises(ValueError):
+            MAFFOptions(slo_safety_margin=1.0)
+
+
+class TestSearch:
+    def test_finds_feasible_configuration(self, diamond_objective):
+        optimizer = MAFFOptimizer(options=MAFFOptions(initial_memory_mb=2048.0))
+        result = optimizer.search(diamond_objective)
+        assert result.found_feasible
+        assert result.method == "MAFF"
+        assert result.best_runtime_seconds <= diamond_objective.slo.latency_limit
+
+    def test_all_configurations_are_coupled(self, diamond_objective):
+        optimizer = MAFFOptimizer(options=MAFFOptions(initial_memory_mb=2048.0))
+        optimizer.search(diamond_objective)
+        for sample in diamond_objective.history.samples:
+            for config in sample.configuration.values():
+                expected_cpu = min(
+                    max(coupled_cpu_for_memory(config.memory_mb), 0.1), 10.0
+                )
+                assert config.vcpu == pytest.approx(expected_cpu, abs=0.06)
+
+    def test_cost_improves_over_initial(self, diamond_objective):
+        optimizer = MAFFOptimizer(options=MAFFOptions(initial_memory_mb=2048.0))
+        result = optimizer.search(diamond_objective)
+        initial_cost = diamond_objective.history.samples[0].cost
+        assert result.best_cost <= initial_cost
+
+    def test_memory_never_exceeds_initial(self, diamond_objective):
+        optimizer = MAFFOptimizer(options=MAFFOptions(initial_memory_mb=2048.0))
+        result = optimizer.search(diamond_objective)
+        for sample in diamond_objective.history.samples:
+            for config in sample.configuration.values():
+                assert config.memory_mb <= 2048.0
+        # The descent only ever removes memory, so the final best cannot be
+        # more generous than the starting point for any function.
+        for config in result.best_configuration.values():
+            assert config.memory_mb <= 2048.0
+
+    def test_respects_sample_cap(self, diamond_executor, diamond_workflow, diamond_slo):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        optimizer = MAFFOptimizer(
+            options=MAFFOptions(initial_memory_mb=2048.0, max_samples=4)
+        )
+        result = optimizer.search(objective)
+        assert result.sample_count <= 4
+
+    def test_respects_objective_budget(self, diamond_executor, diamond_workflow, diamond_slo):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo, max_samples=3
+        )
+        optimizer = MAFFOptimizer(options=MAFFOptions(initial_memory_mb=2048.0))
+        result = optimizer.search(objective)
+        assert result.sample_count <= 3
+
+    def test_global_termination_mode_uses_fewer_samples(self, diamond_executor,
+                                                        diamond_workflow, diamond_slo):
+        per_function = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        MAFFOptimizer(
+            options=MAFFOptions(initial_memory_mb=2048.0, stop_on_slo_violation=False)
+        ).search(per_function)
+
+        global_stop = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        MAFFOptimizer(
+            options=MAFFOptions(initial_memory_mb=2048.0, stop_on_slo_violation=True)
+        ).search(global_stop)
+        assert global_stop.sample_count <= per_function.sample_count
+
+    def test_zero_budget_objective(self, diamond_executor, diamond_workflow, diamond_slo):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo, max_samples=0
+        )
+        result = MAFFOptimizer().search(objective)
+        assert not result.found_feasible
+        assert result.sample_count == 0
+
+    def test_deterministic(self, diamond_executor, diamond_workflow, diamond_slo):
+        costs = []
+        for _ in range(2):
+            objective = WorkflowObjective(
+                executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+            )
+            result = MAFFOptimizer(options=MAFFOptions(initial_memory_mb=2048.0)).search(objective)
+            costs.append(result.best_cost)
+        assert costs[0] == costs[1]

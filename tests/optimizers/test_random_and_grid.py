@@ -1,0 +1,70 @@
+"""Tests for random search and the grid sweep."""
+
+import pytest
+
+from repro.core.objective import WorkflowObjective
+from repro.optimizers.grid import GridSearchOptimizer, GridSearchOptions
+from repro.optimizers.random_search import RandomSearchOptimizer, RandomSearchOptions
+
+
+class TestRandomSearch:
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearchOptions(max_samples=0)
+
+    def test_uses_budget_and_reports_best(self, diamond_objective):
+        optimizer = RandomSearchOptimizer(options=RandomSearchOptions(max_samples=20, seed=1))
+        result = optimizer.search(diamond_objective)
+        assert result.sample_count == 20
+        if result.found_feasible:
+            feasible_costs = [s.cost for s in result.history.samples if s.feasible]
+            assert result.best_cost == min(feasible_costs)
+
+    def test_deterministic_per_seed(self, diamond_executor, diamond_workflow, diamond_slo):
+        series = []
+        for _ in range(2):
+            objective = WorkflowObjective(
+                executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+            )
+            RandomSearchOptimizer(options=RandomSearchOptions(max_samples=5, seed=9)).search(objective)
+            series.append(tuple(objective.history.cost_series()))
+        assert series[0] == series[1]
+
+    def test_respects_objective_budget(self, diamond_executor, diamond_workflow, diamond_slo):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo, max_samples=3
+        )
+        result = RandomSearchOptimizer(
+            options=RandomSearchOptions(max_samples=50, seed=0)
+        ).search(objective)
+        assert result.sample_count == 3
+
+
+class TestGridSearch:
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            GridSearchOptions(vcpu_values=())
+        with pytest.raises(ValueError):
+            GridSearchOptions(memory_values_mb=())
+
+    def test_sweep_covers_whole_grid(self, diamond_objective):
+        options = GridSearchOptions(vcpu_values=(1.0, 2.0), memory_values_mb=(512.0, 1024.0))
+        optimizer = GridSearchOptimizer(options=options)
+        results = optimizer.sweep(diamond_objective)
+        assert len(results) == 4
+        assert diamond_objective.sample_count == 4
+        assert len(optimizer.grid_points()) == 4
+
+    def test_search_returns_cheapest_feasible(self, diamond_objective):
+        options = GridSearchOptions(vcpu_values=(1.0, 2.0, 4.0), memory_values_mb=(512.0, 1024.0))
+        result = GridSearchOptimizer(options=options).search(diamond_objective)
+        assert result.found_feasible
+        feasible = [s for s in result.history.samples if s.feasible]
+        assert result.best_cost == min(s.cost for s in feasible)
+
+    def test_uniform_configuration_applied(self, diamond_objective):
+        options = GridSearchOptions(vcpu_values=(2.0,), memory_values_mb=(1024.0,))
+        GridSearchOptimizer(options=options).search(diamond_objective)
+        sample = diamond_objective.history.samples[0]
+        configs = set(sample.configuration.values())
+        assert len(configs) == 1

@@ -1,0 +1,80 @@
+"""Tests for profile calibration (least-squares fitting)."""
+
+import pytest
+
+from repro.perfmodel.analytic import AnalyticFunctionModel, FunctionProfile
+from repro.perfmodel.calibration import CalibrationSample, calibration_error, fit_profile
+from repro.workflow.resources import ResourceConfig
+
+
+def synthetic_samples(true_profile: FunctionProfile):
+    model = AnalyticFunctionModel(true_profile)
+    samples = []
+    for vcpu in (0.5, 1.0, 2.0, 4.0, 8.0):
+        for memory in (1024.0, 2048.0):
+            config = ResourceConfig(vcpu=vcpu, memory_mb=memory)
+            samples.append(
+                CalibrationSample(config=config, runtime_seconds=model.runtime(config))
+            )
+    return samples
+
+
+class TestCalibrationSample:
+    def test_validation(self):
+        config = ResourceConfig(1, 512)
+        with pytest.raises(ValueError):
+            CalibrationSample(config=config, runtime_seconds=0)
+        with pytest.raises(ValueError):
+            CalibrationSample(config=config, runtime_seconds=1.0, input_scale=0)
+
+
+class TestFitProfile:
+    def test_requires_enough_samples(self):
+        config = ResourceConfig(1, 512)
+        samples = [CalibrationSample(config=config, runtime_seconds=1.0)] * 2
+        with pytest.raises(ValueError):
+            fit_profile("f", samples)
+
+    def test_requires_cpu_diversity(self):
+        config = ResourceConfig(1, 512)
+        samples = [CalibrationSample(config=config, runtime_seconds=1.0)] * 4
+        with pytest.raises(ValueError):
+            fit_profile("f", samples)
+
+    def test_recovers_synthetic_profile(self):
+        true_profile = FunctionProfile(
+            name="truth",
+            cpu_seconds=30.0,
+            io_seconds=5.0,
+            parallel_fraction=0.8,
+            max_parallelism=8.0,
+            working_set_mb=256.0,
+            comfortable_memory_mb=256.0,
+        )
+        samples = synthetic_samples(true_profile)
+        fitted = fit_profile("fitted", samples, template=true_profile)
+        assert fitted.cpu_seconds == pytest.approx(true_profile.cpu_seconds, rel=0.05)
+        assert fitted.io_seconds == pytest.approx(true_profile.io_seconds, abs=1.0)
+        assert fitted.parallel_fraction == pytest.approx(true_profile.parallel_fraction, abs=0.05)
+        assert calibration_error(fitted, samples) < 0.05
+
+    def test_fit_without_template_produces_low_error(self):
+        true_profile = FunctionProfile(
+            name="truth",
+            cpu_seconds=12.0,
+            io_seconds=3.0,
+            parallel_fraction=0.6,
+            max_parallelism=8.0,
+            working_set_mb=128.0,
+            comfortable_memory_mb=128.0,
+        )
+        samples = synthetic_samples(true_profile)
+        fitted = fit_profile("fitted", samples)
+        assert fitted.name == "fitted"
+        assert calibration_error(fitted, samples) < 0.25
+
+    def test_calibration_error_requires_samples(self):
+        with pytest.raises(ValueError):
+            calibration_error(
+                FunctionProfile(name="p", cpu_seconds=1.0, io_seconds=0.0), []
+            )

@@ -1,0 +1,78 @@
+"""Tests for the affinity-class profile constructors."""
+
+import pytest
+
+from repro.perfmodel.analytic import AnalyticFunctionModel
+from repro.perfmodel.profiles import (
+    balanced_profile,
+    cpu_bound_profile,
+    io_bound_profile,
+    memory_bound_profile,
+)
+from repro.workflow.resources import ResourceConfig
+
+
+class TestCpuBound:
+    def test_tagged(self):
+        assert "cpu-bound" in cpu_bound_profile("f", 100.0).tags
+
+    def test_extra_cores_help_a_lot(self):
+        model = AnalyticFunctionModel(cpu_bound_profile("f", 100.0))
+        one = model.runtime(ResourceConfig(vcpu=1, memory_mb=1024))
+        eight = model.runtime(ResourceConfig(vcpu=8, memory_mb=1024))
+        assert eight < one * 0.35
+
+    def test_memory_barely_matters_above_working_set(self):
+        model = AnalyticFunctionModel(cpu_bound_profile("f", 100.0, working_set_mb=192.0))
+        small = model.runtime(ResourceConfig(vcpu=4, memory_mb=512))
+        large = model.runtime(ResourceConfig(vcpu=4, memory_mb=8192))
+        assert small <= large * 1.2
+
+
+class TestIoBound:
+    def test_tagged(self):
+        assert "io-bound" in io_bound_profile("f", io_seconds=20.0).tags
+
+    def test_extra_cores_barely_help(self):
+        model = AnalyticFunctionModel(io_bound_profile("f", io_seconds=30.0, cpu_seconds=2.0))
+        one = model.runtime(ResourceConfig(vcpu=1, memory_mb=512))
+        eight = model.runtime(ResourceConfig(vcpu=8, memory_mb=512))
+        assert eight > one * 0.9
+
+
+class TestMemoryBound:
+    def test_tagged(self):
+        profile = memory_bound_profile("f", cpu_seconds=100.0, working_set_mb=2048.0)
+        assert "memory-bound" in profile.tags
+
+    def test_working_set_grows_with_input(self):
+        profile = memory_bound_profile("f", cpu_seconds=10.0, working_set_mb=1000.0)
+        assert profile.scaled_working_set_mb(2.0) > profile.working_set_mb
+
+    def test_pressure_penalty_is_substantial(self):
+        profile = memory_bound_profile("f", cpu_seconds=10.0, working_set_mb=1000.0)
+        assert profile.memory_pressure_penalty >= 0.3
+
+
+class TestBalanced:
+    def test_tagged(self):
+        assert "balanced" in balanced_profile("f", cpu_seconds=5.0, io_seconds=5.0).tags
+
+    def test_profile_valid(self):
+        profile = balanced_profile("f", cpu_seconds=5.0, io_seconds=5.0)
+        model = AnalyticFunctionModel(profile)
+        assert model.runtime(ResourceConfig(vcpu=2, memory_mb=1024)) > 0
+
+
+class TestNamePropagation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: cpu_bound_profile("myname", 1.0),
+            lambda: io_bound_profile("myname", 1.0),
+            lambda: memory_bound_profile("myname", 1.0, 512.0),
+            lambda: balanced_profile("myname", 1.0, 1.0),
+        ],
+    )
+    def test_name_set(self, factory):
+        assert factory().name == "myname"

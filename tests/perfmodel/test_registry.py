@@ -1,0 +1,68 @@
+"""Tests for the performance-model registry."""
+
+import pytest
+
+from repro.perfmodel.analytic import AnalyticFunctionModel, FunctionProfile
+from repro.perfmodel.noise import LognormalNoise, NoNoise
+from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig
+
+
+def profile(name: str) -> FunctionProfile:
+    return FunctionProfile(name=name, cpu_seconds=1.0, io_seconds=1.0)
+
+
+class TestRegistry:
+    def test_from_profiles(self):
+        registry = PerformanceModelRegistry.from_profiles([profile("a"), profile("b")])
+        assert len(registry) == 2
+        assert "a" in registry and "b" in registry
+
+    def test_unknown_function_raises(self):
+        registry = PerformanceModelRegistry()
+        with pytest.raises(KeyError):
+            registry.function_model("missing")
+
+    def test_register_empty_name_rejected(self):
+        registry = PerformanceModelRegistry()
+        with pytest.raises(ValueError):
+            registry.register("", AnalyticFunctionModel(profile("x")))
+
+    def test_runtime_and_estimate_shortcuts(self):
+        registry = PerformanceModelRegistry.from_profiles([profile("a")])
+        config = ResourceConfig(vcpu=1, memory_mb=512)
+        assert registry.runtime("a", config) == pytest.approx(
+            registry.estimate("a", config).total_seconds
+        )
+
+    def test_covers_workflow_via_profile_names(self):
+        workflow = Workflow(
+            name="w",
+            functions=[FunctionSpec("x", profile="shared"), FunctionSpec("y", profile="shared")],
+            edges=[("x", "y")],
+        )
+        registry = PerformanceModelRegistry.from_profiles([profile("shared")])
+        assert registry.covers(workflow)
+        assert registry.missing_for(workflow) == []
+
+    def test_missing_for_reports_gaps(self):
+        workflow = Workflow(
+            name="w", functions=[FunctionSpec("x"), FunctionSpec("y")], edges=[("x", "y")]
+        )
+        registry = PerformanceModelRegistry.from_profiles([profile("x")])
+        assert not registry.covers(workflow)
+        assert registry.missing_for(workflow) == ["y"]
+
+    def test_with_noise_replaces_analytic_models(self):
+        registry = PerformanceModelRegistry.from_profiles([profile("a")], noise=NoNoise())
+        noisy = registry.with_noise(LognormalNoise(0.1))
+        model = noisy.function_model("a")
+        assert isinstance(model, AnalyticFunctionModel)
+        assert isinstance(model.noise, LognormalNoise)
+        # original untouched
+        assert isinstance(registry.function_model("a").noise, NoNoise)
+
+    def test_function_names(self):
+        registry = PerformanceModelRegistry.from_profiles([profile("a"), profile("b")])
+        assert sorted(registry.function_names()) == ["a", "b"]

@@ -1,0 +1,84 @@
+"""Tests for the pricing model."""
+
+import pytest
+
+from repro.pricing.model import (
+    PAPER_PRICING,
+    PricingModel,
+    aws_lambda_like_pricing,
+    coupled_memory_pricing,
+)
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+
+
+class TestInvocationCost:
+    def test_paper_constants(self):
+        assert PAPER_PRICING.price_per_vcpu_second == 0.512
+        assert PAPER_PRICING.price_per_mb_second == 0.001
+        assert PAPER_PRICING.price_per_request == 0.0
+
+    def test_cost_formula(self):
+        config = ResourceConfig(vcpu=2, memory_mb=1024)
+        cost = PAPER_PRICING.invocation_cost(10.0, config)
+        assert cost == pytest.approx(10.0 * (0.512 * 2 + 0.001 * 1024))
+
+    def test_per_request_fee_added(self):
+        pricing = PricingModel(price_per_vcpu_second=0, price_per_mb_second=0, price_per_request=3.0)
+        assert pricing.invocation_cost(100.0, ResourceConfig(1, 128)) == 3.0
+
+    def test_zero_runtime_costs_only_request_fee(self):
+        assert PAPER_PRICING.invocation_cost(0.0, ResourceConfig(4, 4096)) == 0.0
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_PRICING.invocation_cost(-1.0, ResourceConfig(1, 128))
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            PricingModel(price_per_vcpu_second=-1)
+        with pytest.raises(ValueError):
+            PricingModel(price_per_mb_second=-1)
+        with pytest.raises(ValueError):
+            PricingModel(price_per_request=-1)
+
+    def test_cost_monotone_in_resources(self):
+        small = PAPER_PRICING.invocation_cost(5.0, ResourceConfig(1, 256))
+        more_cpu = PAPER_PRICING.invocation_cost(5.0, ResourceConfig(2, 256))
+        more_mem = PAPER_PRICING.invocation_cost(5.0, ResourceConfig(1, 512))
+        assert more_cpu > small
+        assert more_mem > small
+
+    def test_resource_rate(self):
+        rate = PAPER_PRICING.resource_rate(ResourceConfig(1, 1000))
+        assert rate == pytest.approx(0.512 + 1.0)
+
+
+class TestWorkflowCost:
+    def test_sums_over_functions(self):
+        configuration = WorkflowConfiguration(
+            {"a": ResourceConfig(1, 1024), "b": ResourceConfig(2, 512)}
+        )
+        runtimes = {"a": 10.0, "b": 5.0}
+        expected = PAPER_PRICING.invocation_cost(10.0, configuration["a"]) + \
+            PAPER_PRICING.invocation_cost(5.0, configuration["b"])
+        assert PAPER_PRICING.workflow_cost(runtimes, configuration) == pytest.approx(expected)
+
+    def test_missing_function_raises(self):
+        configuration = WorkflowConfiguration({"a": ResourceConfig(1, 1024)})
+        with pytest.raises(KeyError):
+            PAPER_PRICING.workflow_cost({"a": 1.0, "b": 1.0}, configuration)
+
+
+class TestPresets:
+    def test_aws_like_carries_request_fee(self):
+        pricing = aws_lambda_like_pricing(price_per_request=0.2)
+        assert pricing.price_per_request == 0.2
+        assert pricing.price_per_vcpu_second == 0.512
+
+    def test_coupled_pricing_has_free_cpu(self):
+        pricing = coupled_memory_pricing()
+        assert pricing.price_per_vcpu_second == 0.0
+        assert pricing.price_per_mb_second > 0
+
+    def test_describe(self):
+        assert "µ0" in PAPER_PRICING.describe()

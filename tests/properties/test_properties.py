@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.operations import AdjustmentOperation, OperationQueue, ResourceType
+from repro.perfmodel.analytic import AnalyticFunctionModel, FunctionProfile
+from repro.pricing.model import PAPER_PRICING
+from repro.utils.rng import derive_seed
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workflow.serialization import (
+    configuration_from_dict,
+    configuration_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+vcpus = st.floats(min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False)
+memories = st.floats(min_value=128.0, max_value=10240.0, allow_nan=False, allow_infinity=False)
+resource_configs = st.builds(ResourceConfig, vcpu=vcpus, memory_mb=memories)
+
+
+@st.composite
+def layered_workflows(draw):
+    """Random layered DAGs: every node in layer i feeds >=1 node in layer i+1."""
+    n_layers = draw(st.integers(min_value=1, max_value=4))
+    layers = []
+    counter = 0
+    for layer_index in range(n_layers):
+        # A single-layer workflow must be a single function, otherwise the
+        # graph would be disconnected (which Workflow rejects).
+        max_width = 1 if n_layers == 1 else 3
+        width = draw(st.integers(min_value=1, max_value=max_width))
+        layers.append([f"f{counter + i}" for i in range(width)])
+        counter += width
+    functions = [FunctionSpec(name) for layer in layers for name in layer]
+    edges = []
+    for upstream_layer, downstream_layer in zip(layers, layers[1:]):
+        for upstream in upstream_layer:
+            # Every upstream node feeds the first downstream node (keeps the
+            # graph weakly connected) plus one random downstream node.
+            edges.append((upstream, downstream_layer[0]))
+            target = draw(st.sampled_from(downstream_layer))
+            if (upstream, target) not in edges:
+                edges.append((upstream, target))
+        # make sure every downstream node has at least one predecessor
+        for downstream in downstream_layer:
+            if not any(edge[1] == downstream for edge in edges):
+                source = draw(st.sampled_from(upstream_layer))
+                edges.append((source, downstream))
+    return Workflow("random", functions, edges)
+
+
+@st.composite
+def workflows_with_runtimes(draw):
+    workflow = draw(layered_workflows())
+    runtimes = {
+        name: draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+        for name in workflow.function_names
+    }
+    return workflow, runtimes
+
+
+# ---------------------------------------------------------------------------
+# DAG properties
+# ---------------------------------------------------------------------------
+
+
+class TestDagProperties:
+    @given(workflows_with_runtimes())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, workflow_and_runtimes):
+        workflow, runtimes = workflow_and_runtimes
+        makespan = workflow.makespan(runtimes)
+        assert makespan <= sum(runtimes.values()) + 1e-9
+        assert makespan >= max(runtimes.values()) - 1e-9
+
+    @given(workflows_with_runtimes())
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_weight_equals_makespan(self, workflow_and_runtimes):
+        workflow, runtimes = workflow_and_runtimes
+        path, total = workflow.longest_path(runtimes)
+        assert math.isclose(total, sum(runtimes[n] for n in path), rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(total, workflow.makespan(runtimes), rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(workflows_with_runtimes())
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_is_a_real_path(self, workflow_and_runtimes):
+        workflow, runtimes = workflow_and_runtimes
+        path, _ = workflow.longest_path(runtimes)
+        assert path[0] in workflow.sources()
+        assert path[-1] in workflow.sinks()
+        for upstream, downstream in zip(path, path[1:]):
+            assert downstream in workflow.successors(upstream)
+
+    @given(workflows_with_runtimes())
+    @settings(max_examples=60, deadline=None)
+    def test_completion_times_monotone_along_edges(self, workflow_and_runtimes):
+        workflow, runtimes = workflow_and_runtimes
+        finish = workflow.completion_times(runtimes)
+        for upstream, downstream in workflow.edges:
+            assert finish[downstream] >= finish[upstream] - 1e-9
+
+    @given(layered_workflows())
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_round_trip(self, workflow):
+        restored = workflow_from_dict(workflow_to_dict(workflow))
+        assert restored.function_names == workflow.function_names
+        assert sorted(restored.edges) == sorted(workflow.edges)
+
+
+# ---------------------------------------------------------------------------
+# configuration space properties
+# ---------------------------------------------------------------------------
+
+
+class TestConfigSpaceProperties:
+    @given(resource_configs)
+    @settings(max_examples=100, deadline=None)
+    def test_snap_idempotent_and_in_bounds(self, config):
+        space = ConfigurationSpace()
+        snapped = space.snap(config)
+        assert space.contains(snapped)
+        assert space.snap(snapped) == snapped
+        assert space.vcpu_min <= snapped.vcpu <= space.vcpu_max
+        assert space.memory_min_mb <= snapped.memory_mb <= space.memory_max_mb
+
+    @given(resource_configs, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_decrease_never_increases(self, config, fraction):
+        space = ConfigurationSpace()
+        snapped = space.snap(config)
+        assert space.decrease_memory(snapped, fraction).memory_mb <= snapped.memory_mb
+        assert space.decrease_vcpu(snapped, fraction).vcpu <= snapped.vcpu
+
+    @given(st.lists(resource_configs, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_round_trip_on_grid(self, configs):
+        space = ConfigurationSpace()
+        names = [f"f{i}" for i in range(len(configs))]
+        configuration = WorkflowConfiguration(
+            {name: space.snap(cfg) for name, cfg in zip(names, configs)}
+        )
+        decoded = space.decode(space.encode(configuration, names), names)
+        for name in names:
+            assert abs(decoded[name].vcpu - configuration[name].vcpu) < space.vcpu_step / 2 + 1e-6
+            assert (
+                abs(decoded[name].memory_mb - configuration[name].memory_mb)
+                < space.memory_step_mb / 2 + 1e-6
+            )
+
+
+# ---------------------------------------------------------------------------
+# pricing and performance-model properties
+# ---------------------------------------------------------------------------
+
+
+class TestCostAndModelProperties:
+    @given(resource_configs, st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_cost_non_negative_and_linear_in_runtime(self, config, runtime):
+        cost = PAPER_PRICING.invocation_cost(runtime, config)
+        assert cost >= 0
+        double = PAPER_PRICING.invocation_cost(2 * runtime, config)
+        assert math.isclose(double, 2 * cost, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(
+        st.floats(min_value=0.5, max_value=10.0),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_runtime_monotone_in_cpu(self, cpu_seconds, vcpu_a, vcpu_b):
+        profile = FunctionProfile(
+            name="p",
+            cpu_seconds=cpu_seconds,
+            io_seconds=1.0,
+            parallel_fraction=0.7,
+            working_set_mb=128.0,
+            comfortable_memory_mb=128.0,
+        )
+        model = AnalyticFunctionModel(profile)
+        low, high = sorted((vcpu_a, vcpu_b))
+        slow = model.runtime(ResourceConfig(vcpu=low, memory_mb=1024))
+        fast = model.runtime(ResourceConfig(vcpu=high, memory_mb=1024))
+        assert fast <= slow + 1e-9
+
+    @given(st.floats(min_value=128.0, max_value=8192.0), st.floats(min_value=128.0, max_value=8192.0))
+    @settings(max_examples=100, deadline=None)
+    def test_runtime_monotone_in_memory(self, memory_a, memory_b):
+        profile = FunctionProfile(
+            name="p",
+            cpu_seconds=5.0,
+            io_seconds=1.0,
+            working_set_mb=128.0,
+            comfortable_memory_mb=2048.0,
+            memory_pressure_penalty=0.8,
+        )
+        model = AnalyticFunctionModel(profile)
+        low, high = sorted((memory_a, memory_b))
+        tight = model.runtime(ResourceConfig(vcpu=2, memory_mb=low))
+        roomy = model.runtime(ResourceConfig(vcpu=2, memory_mb=high))
+        assert roomy <= tight + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# serialization / queue / seed properties
+# ---------------------------------------------------------------------------
+
+
+class TestMiscProperties:
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), resource_configs, min_size=1))
+    @settings(max_examples=60, deadline=None)
+    def test_configuration_round_trip(self, configs):
+        configuration = WorkflowConfiguration(configs)
+        restored = configuration_from_dict(configuration_to_dict(configuration))
+        assert restored == configuration
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_operation_queue_pops_in_priority_order(self, priorities):
+        queue = OperationQueue()
+        for index, priority in enumerate(priorities):
+            queue.push(
+                AdjustmentOperation(
+                    function_name=f"f{index}",
+                    resource_type=ResourceType.CPU,
+                    step_fraction=0.5,
+                    trials_remaining=1,
+                ),
+                priority=priority,
+            )
+        popped = []
+        while queue:
+            popped.append(queue.pop()[1])
+        assert popped == sorted(popped, reverse=True)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_derive_seed_deterministic_and_label_sensitive(self, base, label_a, label_b):
+        assert derive_seed(base, label_a) == derive_seed(base, label_a)
+        if label_a != label_b:
+            assert derive_seed(base, label_a) != derive_seed(base, label_b)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workflow.serialization import configuration_from_dict
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "chatbot"])
+        assert args.method == "AARC"
+        assert args.bo_samples == 100
+        assert args.seed == 2025
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "chatbot", "--method", "magic"])
+
+
+class TestCommands:
+    def test_workloads_lists_benchmarks(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "chatbot" in output
+        assert "video-analysis" in output
+
+    def test_describe(self, capsys):
+        assert main(["describe", "ml-pipeline"]) == 0
+        output = capsys.readouterr().out
+        assert "ml-pipeline" in output
+        assert "train_pca" in output
+        assert "cpu-bound" in output
+
+    def test_search_aarc_plain_output(self, capsys):
+        assert main(["search", "chatbot"]) == 0
+        output = capsys.readouterr().out
+        assert "AARC on chatbot" in output
+        assert "train_classifier_a" in output
+
+    def test_search_json_output_round_trips(self, capsys):
+        assert main(["search", "chatbot", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        configuration = configuration_from_dict(payload)
+        assert "classify" in configuration
+
+    def test_search_maff(self, capsys):
+        assert main(["search", "ml-pipeline", "--method", "MAFF"]) == 0
+        assert "MAFF on ml-pipeline" in capsys.readouterr().out
+
+    def test_heatmap(self, capsys):
+        assert main(["heatmap", "chatbot"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 2" in output
+        assert "cheapest feasible point" in output
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["describe", "not-a-workload"])

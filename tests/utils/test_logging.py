@@ -1,0 +1,30 @@
+"""Tests for the logging facade."""
+
+import logging
+
+from repro.utils.logging import get_logger, set_verbosity
+
+
+class TestGetLogger:
+    def test_default_is_repro_root(self):
+        assert get_logger().name == "repro"
+
+    def test_namespaced_under_repro(self):
+        assert get_logger("core.scheduler").name == "repro.core.scheduler"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.execution").name == "repro.execution"
+
+    def test_same_name_returns_same_logger(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestSetVerbosity:
+    def test_sets_level(self):
+        set_verbosity(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_attaches_single_handler(self):
+        set_verbosity(logging.INFO)
+        set_verbosity(logging.INFO)
+        assert len(logging.getLogger("repro").handlers) == 1

@@ -1,0 +1,92 @@
+"""Tests for the ASCII table / series renderers."""
+
+import pytest
+
+from repro.utils.tables import Table, format_series
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_length_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_headers_and_values(self):
+        table = Table(["method", "cost"])
+        table.add_row("AARC", 123.456)
+        text = table.render()
+        assert "method" in text
+        assert "AARC" in text
+        assert "123.456" in text
+
+    def test_title_rendered_first(self):
+        table = Table(["x"], title="My Title")
+        table.add_row(1)
+        assert table.render().splitlines()[0] == "My Title"
+
+    def test_add_rows_bulk(self):
+        table = Table(["x", "y"])
+        table.add_rows([(1, 2), (3, 4)])
+        assert table.n_rows == 2
+
+    def test_large_and_small_floats_use_scientific(self):
+        table = Table(["v"], precision=2)
+        table.add_row(1.5e7)
+        table.add_row(1.5e-5)
+        text = table.render()
+        assert "e+07" in text
+        assert "e-05" in text
+
+    def test_zero_rendered_plainly(self):
+        table = Table(["v"])
+        table.add_row(0.0)
+        assert "| 0" in table.render()
+
+    def test_to_csv(self):
+        table = Table(["a", "b"])
+        table.add_row("x,1", 2)
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x;1" in csv  # embedded comma sanitised
+
+    def test_str_matches_render(self):
+        table = Table(["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+    def test_alignment_padding(self):
+        table = Table(["name", "v"])
+        table.add_row("a-very-long-name", 1)
+        table.add_row("b", 2)
+        lines = table.render().splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatSeries:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_empty_series(self):
+        assert "empty" in format_series("s", [], [])
+
+    def test_contains_pairs(self):
+        text = format_series("s", [0, 1], [10.0, 20.0])
+        assert "(0, 10" in text and "(1, 20" in text
+
+    def test_downsamples_long_series(self):
+        xs = list(range(1000))
+        ys = [float(x) for x in xs]
+        text = format_series("s", xs, ys, max_points=10)
+        assert text.count("(") <= 10
+
+    def test_keeps_first_and_last(self):
+        xs = list(range(100))
+        ys = [float(x) for x in xs]
+        text = format_series("s", xs, ys, max_points=5)
+        assert "(0, 0" in text
+        assert "(99, 99" in text

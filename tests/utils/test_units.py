@@ -1,0 +1,104 @@
+"""Tests for unit parsing and formatting."""
+
+import pytest
+
+from repro.utils.units import (
+    MB_PER_GB,
+    format_duration,
+    format_memory,
+    gb_from_mb,
+    mb_from_gb,
+    parse_memory_mb,
+    parse_vcpu,
+)
+
+
+class TestConversions:
+    def test_mb_from_gb(self):
+        assert mb_from_gb(2) == 2048.0
+
+    def test_gb_from_mb(self):
+        assert gb_from_mb(512) == 0.5
+
+    def test_round_trip(self):
+        assert gb_from_mb(mb_from_gb(3.7)) == pytest.approx(3.7)
+
+    def test_constant(self):
+        assert MB_PER_GB == 1024.0
+
+
+class TestParseMemory:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (512, 512.0),
+            (512.0, 512.0),
+            ("512", 512.0),
+            ("512MB", 512.0),
+            ("512 mb", 512.0),
+            ("0.5GB", 512.0),
+            ("2 GiB", 2048.0),
+            ("1g", 1024.0),
+            ("256m", 256.0),
+        ],
+    )
+    def test_valid(self, value, expected):
+        assert parse_memory_mb(value) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("value", [0, -5, "0MB", "-1GB"])
+    def test_non_positive_rejected(self, value):
+        with pytest.raises(ValueError):
+            parse_memory_mb(value)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_memory_mb("lots of ram")
+
+
+class TestParseVcpu:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (2, 2.0),
+            (0.5, 0.5),
+            ("2", 2.0),
+            ("0.5vcpu", 0.5),
+            ("4 cores", 4.0),
+            ("1 core", 1.0),
+            ("1500m", 1.5),
+        ],
+    )
+    def test_valid(self, value, expected):
+        assert parse_vcpu(value) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("value", [0, -1, "0"])
+    def test_non_positive_rejected(self, value):
+        with pytest.raises(ValueError):
+            parse_vcpu(value)
+
+
+class TestFormatting:
+    def test_format_memory_mb(self):
+        assert format_memory(512) == "512MB"
+
+    def test_format_memory_gb(self):
+        assert format_memory(2048) == "2GB"
+
+    def test_format_memory_fractional_gb(self):
+        assert format_memory(1536) == "1.50GB"
+
+    def test_format_duration_ms(self):
+        assert format_duration(0.25) == "250.0ms"
+
+    def test_format_duration_seconds(self):
+        assert format_duration(42.0) == "42.00s"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(600) == "10.0min"
+
+    def test_format_duration_hours(self):
+        assert format_duration(3600 * 3) == "3.00h"
+
+    def test_format_duration_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,77 @@
+"""Tests for the DAG pattern builders."""
+
+import pytest
+
+from repro.workflow.patterns import (
+    broadcast_workflow,
+    chain_workflow,
+    diamond_workflow,
+    scatter_workflow,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        workflow = chain_workflow("c", ["a", "b", "c3"])
+        assert workflow.sources() == ["a"]
+        assert workflow.sinks() == ["c3"]
+        assert workflow.n_edges == 2
+        assert workflow.communication_pattern() == "chain"
+
+    def test_single_stage(self):
+        workflow = chain_workflow("single", ["only"])
+        assert workflow.n_functions == 1
+        assert workflow.n_edges == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chain_workflow("c", [])
+
+
+class TestScatter:
+    def test_structure(self):
+        workflow = scatter_workflow(
+            "s", entry="start", fanout_stage="split",
+            worker_names=["w1", "w2", "w3"], join_stage="join", exit_stage="end",
+        )
+        assert workflow.successors("split") == ["w1", "w2", "w3"]
+        assert workflow.predecessors("join") == ["w1", "w2", "w3"]
+        assert workflow.sinks() == ["end"]
+        assert workflow.communication_pattern() == "scatter"
+
+    def test_without_exit_stage(self):
+        workflow = scatter_workflow(
+            "s", entry="start", fanout_stage="split", worker_names=["w"], join_stage="join"
+        )
+        assert workflow.sinks() == ["join"]
+
+    def test_no_workers_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_workflow("s", "a", "b", [], "c")
+
+
+class TestBroadcast:
+    def test_structure(self):
+        workflow = broadcast_workflow(
+            "b", entry="start", branch_names=["x", "y"], combine_stage="combine", exit_stage="end"
+        )
+        assert workflow.successors("start") == ["x", "y"]
+        assert workflow.predecessors("combine") == ["x", "y"]
+        assert workflow.communication_pattern() == "broadcast"
+
+    def test_no_branches_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast_workflow("b", "start", [], "combine")
+
+
+class TestDiamond:
+    def test_default_structure(self):
+        workflow = diamond_workflow()
+        assert workflow.n_functions == 4
+        assert workflow.sources() == ["entry"]
+        assert workflow.sinks() == ["exit"]
+        assert len(workflow.all_paths()) == 2
+
+    def test_custom_names(self):
+        workflow = diamond_workflow("d", "s", "l", "r", "t")
+        assert set(workflow.function_names) == {"s", "l", "r", "t"}

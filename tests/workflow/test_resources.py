@@ -1,0 +1,120 @@
+"""Tests for ResourceConfig / WorkflowConfiguration."""
+
+import pytest
+
+from repro.workflow.resources import (
+    ResourceConfig,
+    WorkflowConfiguration,
+    coupled_cpu_for_memory,
+)
+
+
+class TestCoupling:
+    def test_default_ratio(self):
+        assert coupled_cpu_for_memory(1024.0) == 1.0
+
+    def test_custom_ratio(self):
+        assert coupled_cpu_for_memory(4096.0, mb_per_vcpu=2048.0) == 2.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            coupled_cpu_for_memory(0)
+        with pytest.raises(ValueError):
+            coupled_cpu_for_memory(1024, mb_per_vcpu=0)
+
+
+class TestResourceConfig:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ResourceConfig(vcpu=0, memory_mb=128)
+        with pytest.raises(ValueError):
+            ResourceConfig(vcpu=1, memory_mb=0)
+
+    def test_coupled_constructor(self):
+        config = ResourceConfig.coupled(2048.0)
+        assert config.vcpu == 2.0
+        assert config.memory_mb == 2048.0
+
+    def test_with_vcpu_and_memory(self):
+        config = ResourceConfig(vcpu=2, memory_mb=1024)
+        assert config.with_vcpu(4).vcpu == 4
+        assert config.with_vcpu(4).memory_mb == 1024
+        assert config.with_memory(512).memory_mb == 512
+        assert config.with_memory(512).vcpu == 2
+
+    def test_scaled(self):
+        config = ResourceConfig(vcpu=2, memory_mb=1000)
+        scaled = config.scaled(cpu_factor=0.5, memory_factor=2.0)
+        assert scaled.vcpu == 1.0
+        assert scaled.memory_mb == 2000.0
+
+    def test_as_tuple_and_describe(self):
+        config = ResourceConfig(vcpu=2, memory_mb=512)
+        assert config.as_tuple() == (2, 512)
+        assert "2 vCPU" in config.describe()
+        assert "512MB" in config.describe()
+
+    def test_frozen_and_hashable(self):
+        config = ResourceConfig(vcpu=1, memory_mb=128)
+        assert config == ResourceConfig(vcpu=1, memory_mb=128)
+        assert hash(config) == hash(ResourceConfig(vcpu=1, memory_mb=128))
+
+
+class TestWorkflowConfiguration:
+    def test_uniform(self):
+        config = ResourceConfig(vcpu=1, memory_mb=256)
+        wc = WorkflowConfiguration.uniform(["a", "b"], config)
+        assert wc["a"] == config and wc["b"] == config
+        assert len(wc) == 2
+
+    def test_coupled_uniform(self):
+        wc = WorkflowConfiguration.coupled_uniform(["a"], 2048.0)
+        assert wc["a"].vcpu == 2.0
+
+    def test_updated_returns_new_object(self):
+        wc = WorkflowConfiguration.uniform(["a", "b"], ResourceConfig(1, 256))
+        new = wc.updated("a", ResourceConfig(2, 512))
+        assert new["a"].vcpu == 2
+        assert wc["a"].vcpu == 1  # original untouched
+        assert new["b"] == wc["b"]
+
+    def test_merged_other_wins(self):
+        base = WorkflowConfiguration.uniform(["a", "b"], ResourceConfig(1, 256))
+        override = WorkflowConfiguration({"b": ResourceConfig(4, 1024)})
+        merged = base.merged(override)
+        assert merged["b"].vcpu == 4
+        assert merged["a"].vcpu == 1
+
+    def test_restricted_to(self):
+        wc = WorkflowConfiguration.uniform(["a", "b", "c"], ResourceConfig(1, 256))
+        restricted = wc.restricted_to(["a", "c"])
+        assert set(restricted.keys()) == {"a", "c"}
+
+    def test_contains_and_get(self):
+        wc = WorkflowConfiguration.uniform(["a"], ResourceConfig(1, 256))
+        assert "a" in wc
+        assert "z" not in wc
+        assert wc.get("z") is None
+
+    def test_totals(self):
+        wc = WorkflowConfiguration(
+            {"a": ResourceConfig(1, 256), "b": ResourceConfig(2, 512)}
+        )
+        assert wc.total_vcpu() == 3
+        assert wc.total_memory_mb() == 768
+
+    def test_equality_and_hash(self):
+        a = WorkflowConfiguration.uniform(["x"], ResourceConfig(1, 128))
+        b = WorkflowConfiguration.uniform(["x"], ResourceConfig(1, 128))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_mentions_functions(self):
+        wc = WorkflowConfiguration.uniform(["fn"], ResourceConfig(1, 128))
+        assert "fn" in wc.describe()
+
+    def test_copy_is_independent(self):
+        wc = WorkflowConfiguration.uniform(["a"], ResourceConfig(1, 128))
+        copy = wc.copy()
+        assert copy == wc
+        assert copy is not wc

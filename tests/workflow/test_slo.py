@@ -1,0 +1,56 @@
+"""Tests for SLO objects."""
+
+import pytest
+
+from repro.workflow.slo import SLO, SLOViolation
+
+
+class TestSLO:
+    def test_positive_limit_required(self):
+        with pytest.raises(ValueError):
+            SLO(latency_limit=0)
+
+    def test_is_met(self):
+        slo = SLO(latency_limit=100.0)
+        assert slo.is_met(99.9)
+        assert slo.is_met(100.0)
+        assert not slo.is_met(100.1)
+
+    def test_is_met_with_tolerance(self):
+        slo = SLO(latency_limit=100.0)
+        assert slo.is_met(104.0, tolerance=0.05)
+        assert not slo.is_met(106.0, tolerance=0.05)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(latency_limit=10).is_met(-1.0)
+
+    def test_check_raises_on_violation(self):
+        slo = SLO(latency_limit=10.0, name="x")
+        slo.check(9.0)
+        with pytest.raises(SLOViolation) as excinfo:
+            slo.check(11.0)
+        assert excinfo.value.observed_latency == 11.0
+        assert excinfo.value.slo is slo
+
+    def test_headroom_and_utilization(self):
+        slo = SLO(latency_limit=100.0)
+        assert slo.headroom(60.0) == 40.0
+        assert slo.headroom(120.0) == -20.0
+        assert slo.utilization(50.0) == 0.5
+
+    def test_derive_sub_slo(self):
+        parent = SLO(latency_limit=100.0, name="e2e")
+        child = parent.derive(25.0, name="sub")
+        assert child.latency_limit == 25.0
+        assert child.parent == "e2e"
+        assert "sub-SLO" in child.describe()
+
+    def test_scaled(self):
+        slo = SLO(latency_limit=100.0)
+        assert slo.scaled(0.5).latency_limit == 50.0
+        with pytest.raises(ValueError):
+            slo.scaled(0)
+
+    def test_describe_contains_name(self):
+        assert "my-slo" in SLO(latency_limit=5.0, name="my-slo").describe()

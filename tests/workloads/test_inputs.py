@@ -1,0 +1,73 @@
+"""Tests for input classes and request-sequence generation."""
+
+import pytest
+
+from repro.utils.rng import RngStream
+from repro.workloads.inputs import (
+    VIDEO_INPUT_CLASSES,
+    InputClass,
+    input_class_rules,
+    request_sequence,
+)
+
+
+class TestInputClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InputClass(name="x", scale=0, max_scale=1)
+        with pytest.raises(ValueError):
+            InputClass(name="x", scale=2, max_scale=1)
+
+    def test_video_classes_ordered(self):
+        scales = [c.scale for c in VIDEO_INPUT_CLASSES]
+        assert scales == sorted(scales)
+        assert [c.name for c in VIDEO_INPUT_CLASSES] == ["light", "middle", "heavy"]
+
+    def test_rules_conversion(self):
+        rules = input_class_rules()
+        assert len(rules) == len(VIDEO_INPUT_CLASSES)
+        assert rules[0].name == "light"
+        assert rules[-1].max_scale == float("inf")
+
+
+class TestRequestSequence:
+    def test_blocked_pattern_groups_classes(self):
+        requests = request_sequence(9, pattern="blocked")
+        classes = [r.input_class for r in requests]
+        assert classes == ["light"] * 3 + ["middle"] * 3 + ["heavy"] * 3
+
+    def test_blocked_pattern_handles_remainder(self):
+        requests = request_sequence(10, pattern="blocked")
+        assert len(requests) == 10
+
+    def test_interleaved_pattern_cycles(self):
+        requests = request_sequence(6, pattern="interleaved")
+        classes = [r.input_class for r in requests]
+        assert classes == ["light", "middle", "heavy", "light", "middle", "heavy"]
+
+    def test_random_pattern_requires_rng(self):
+        with pytest.raises(ValueError):
+            request_sequence(5, pattern="random")
+
+    def test_random_pattern_reproducible(self):
+        a = request_sequence(20, pattern="random", rng=RngStream(3))
+        b = request_sequence(20, pattern="random", rng=RngStream(3))
+        assert [r.input_class for r in a] == [r.input_class for r in b]
+
+    def test_arrival_times_spaced(self):
+        requests = request_sequence(5, inter_arrival_seconds=2.0)
+        assert [r.arrival_time for r in requests] == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_scales_match_classes(self):
+        requests = request_sequence(3, pattern="interleaved")
+        by_class = {r.input_class: r.input_scale for r in requests}
+        for input_class in VIDEO_INPUT_CLASSES:
+            assert by_class[input_class.name] == input_class.scale
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            request_sequence(0)
+        with pytest.raises(ValueError):
+            request_sequence(5, classes=[])
+        with pytest.raises(ValueError):
+            request_sequence(5, pattern="bogus")

@@ -1,0 +1,142 @@
+"""Tests for the benchmark workload specifications."""
+
+import pytest
+
+from repro.perfmodel.noise import LognormalNoise
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.chatbot import CHATBOT_SLO_SECONDS, chatbot_workload
+from repro.workloads.ml_pipeline import ML_PIPELINE_SLO_SECONDS, ml_pipeline_workload
+from repro.workloads.registry import get_workload, list_workloads, register_workload
+from repro.workloads.video_analysis import VIDEO_ANALYSIS_SLO_SECONDS, video_analysis_workload
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig
+from repro.workflow.slo import SLO
+from repro.perfmodel.analytic import FunctionProfile
+
+
+ALL_WORKLOADS = [chatbot_workload, ml_pipeline_workload, video_analysis_workload]
+
+
+class TestRegistry:
+    def test_lists_paper_workloads(self):
+        names = list_workloads()
+        assert {"chatbot", "ml-pipeline", "video-analysis"}.issubset(set(names))
+
+    def test_aliases(self):
+        assert get_workload("ml_pipeline").name == "ml-pipeline"
+        assert get_workload("VIDEO_ANALYSIS").name == "video-analysis"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_register_custom(self):
+        def factory():
+            workflow = Workflow("tiny", [FunctionSpec("only")])
+            profile = FunctionProfile(name="only", cpu_seconds=1.0, io_seconds=0.0)
+            return WorkloadSpec(
+                name="tiny",
+                workflow=workflow,
+                profiles=[profile],
+                slo=SLO(10.0),
+                base_config=ResourceConfig(1, 512),
+            )
+
+        register_workload("tiny", factory)
+        assert get_workload("tiny").name == "tiny"
+
+    def test_fresh_instance_each_call(self):
+        assert get_workload("chatbot") is not get_workload("chatbot")
+
+
+class TestWorkloadStructure:
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_profiles_cover_workflow(self, factory):
+        workload = factory()
+        registry = workload.build_registry()
+        assert registry.covers(workload.workflow)
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_describe_and_affinities(self, factory):
+        workload = factory()
+        assert workload.name in workload.describe()
+        affinities = workload.affinities()
+        assert set(affinities.keys()) == set(workload.workflow.function_names)
+
+    def test_paper_slos(self):
+        assert chatbot_workload().slo.latency_limit == CHATBOT_SLO_SECONDS == 120.0
+        assert ml_pipeline_workload().slo.latency_limit == ML_PIPELINE_SLO_SECONDS == 120.0
+        assert video_analysis_workload().slo.latency_limit == VIDEO_ANALYSIS_SLO_SECONDS == 600.0
+
+    def test_communication_patterns_match_paper(self):
+        assert chatbot_workload().workflow.communication_pattern() == "scatter"
+        assert ml_pipeline_workload().workflow.communication_pattern() == "broadcast"
+        assert video_analysis_workload().workflow.communication_pattern() == "scatter"
+
+    def test_video_analysis_shares_extract_profile(self):
+        workload = video_analysis_workload()
+        extract_specs = [
+            spec for spec in workload.workflow.functions if spec.name.startswith("extract_")
+        ]
+        assert len(extract_specs) == 4
+        assert all(spec.profile_name == "extract" for spec in extract_specs)
+
+    def test_unknown_profile_lookup_raises(self):
+        with pytest.raises(KeyError):
+            chatbot_workload().profile_by_name("nope")
+
+    def test_missing_profile_rejected_at_construction(self):
+        workflow = Workflow("w", [FunctionSpec("a"), FunctionSpec("b")], [("a", "b")])
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="broken",
+                workflow=workflow,
+                profiles=[FunctionProfile(name="a", cpu_seconds=1.0)],
+                slo=SLO(10.0),
+                base_config=ResourceConfig(1, 512),
+            )
+
+
+class TestBaseConfigurationFeasibility:
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_base_configuration_meets_slo(self, factory):
+        workload = factory()
+        executor = workload.build_executor()
+        trace = executor.execute(workload.workflow, workload.base_configuration())
+        assert trace.succeeded
+        assert workload.slo.is_met(trace.end_to_end_latency)
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_objective_builder(self, factory):
+        workload = factory()
+        objective = workload.build_objective()
+        result = objective.evaluate(workload.base_configuration())
+        assert result.feasible
+
+    def test_noise_injection_through_builder(self):
+        workload = chatbot_workload()
+        executor = workload.build_executor(noise=LognormalNoise(0.05))
+        from repro.utils.rng import RngStream
+
+        a = executor.execute(workload.workflow, workload.base_configuration(), rng=RngStream(1))
+        b = executor.execute(workload.workflow, workload.base_configuration(), rng=RngStream(2))
+        assert a.end_to_end_latency != b.end_to_end_latency
+
+
+class TestAffinities:
+    def test_chatbot_is_io_dominated(self):
+        workload = chatbot_workload()
+        affinities = workload.affinities().values()
+        assert sum(1 for a in affinities if a == "io-bound") >= len(list(affinities)) - 1
+
+    def test_ml_pipeline_heavy_stages_are_cpu_bound(self):
+        workload = ml_pipeline_workload()
+        affinities = workload.affinities()
+        assert affinities["train_pca"] == "cpu-bound"
+        assert affinities["param_tune"] == "cpu-bound"
+
+    def test_video_analysis_heavy_stages_are_memory_bound(self):
+        workload = video_analysis_workload()
+        affinities = workload.affinities()
+        assert affinities["extract_0"] == "memory-bound"
+        assert affinities["classify"] == "memory-bound"
