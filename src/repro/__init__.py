@@ -31,7 +31,16 @@ from repro.core import (
     SearchResult,
     WorkflowObjective,
 )
-from repro.execution import ExecutorOptions, WorkflowExecutor
+from repro.execution import (
+    BackendStats,
+    CachingBackend,
+    EvaluationBackend,
+    ExecutorOptions,
+    ParallelBackend,
+    SimulatorBackend,
+    WorkflowExecutor,
+    build_backend,
+)
 from repro.optimizers import (
     BayesianOptimizer,
     BayesianOptimizerOptions,
@@ -50,7 +59,7 @@ from repro.workflow import (
 )
 from repro.workloads import get_workload, list_workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AARC",
@@ -65,6 +74,12 @@ __all__ = [
     "SearchResult",
     "WorkflowExecutor",
     "ExecutorOptions",
+    "EvaluationBackend",
+    "SimulatorBackend",
+    "CachingBackend",
+    "ParallelBackend",
+    "BackendStats",
+    "build_backend",
     "BayesianOptimizer",
     "BayesianOptimizerOptions",
     "MAFFOptimizer",

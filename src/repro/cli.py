@@ -21,9 +21,15 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.experiments.harness import DEFAULT_METHODS, ExperimentSettings, make_searcher
+from repro.execution.backend import BACKEND_NAMES
+from repro.experiments.harness import (
+    DEFAULT_METHODS,
+    ExperimentSettings,
+    build_objective,
+    make_searcher,
+)
 from repro.experiments.motivation import decoupling_heatmap
-from repro.experiments.reporting import render_heatmap
+from repro.experiments.reporting import render_backend_stats, render_heatmap
 from repro.utils.tables import Table
 from repro.workflow.serialization import configuration_to_dict
 from repro.workloads.registry import get_workload, list_workloads
@@ -45,10 +51,31 @@ def build_parser() -> argparse.ArgumentParser:
     describe = subparsers.add_parser("describe", help="describe one workload")
     describe.add_argument("workload", help="workload name (see 'workloads')")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be at least 1")
+        return value
+
+    def add_backend_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--backend", default="simulator", choices=list(BACKEND_NAMES),
+            help="evaluation substrate serving the search's samples",
+        )
+        sub.add_argument(
+            "--cache", action=argparse.BooleanOptionalAction, default=False,
+            help="memoize deterministic evaluations (--no-cache disables)",
+        )
+        sub.add_argument(
+            "--workers", type=positive_int, default=None,
+            help="thread-pool width for batched evaluation (>1 implies "
+                 "--backend parallel; --backend parallel alone defaults to 4)",
+        )
+
     search = subparsers.add_parser("search", help="search a configuration for one workload")
     search.add_argument("workload")
     search.add_argument(
-        "--method", default="AARC", choices=["AARC", "BO", "MAFF", "Random"],
+        "--method", default="AARC", choices=["AARC", "BO", "MAFF", "Random", "Grid"],
         help="search method to run",
     )
     search.add_argument(
@@ -57,10 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--json", action="store_true", help="print the configuration as JSON"
     )
+    add_backend_arguments(search)
 
     compare = subparsers.add_parser("compare", help="compare AARC, BO and MAFF on one workload")
     compare.add_argument("workload")
     compare.add_argument("--bo-samples", type=int, default=60)
+    add_backend_arguments(compare)
 
     heatmap = subparsers.add_parser("heatmap", help="decoupled (vCPU, memory) sweep (Fig. 2)")
     heatmap.add_argument("workload")
@@ -92,11 +121,21 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        seed=args.seed,
+        bo_samples=args.bo_samples,
+        backend=getattr(args, "backend", "simulator"),
+        cache=getattr(args, "cache", False),
+        workers=getattr(args, "workers", None),
+    )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    settings = ExperimentSettings(seed=args.seed, bo_samples=args.bo_samples)
+    settings = _settings_from_args(args)
     searcher = make_searcher(args.method, workload, settings)
-    objective = workload.build_objective()
+    objective = build_objective(workload, settings)
     result = searcher.search(objective)
     if not result.found_feasible:
         print(result.summary(), file=sys.stderr)
@@ -107,22 +146,37 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(result.summary())
     for name, config in sorted(result.best_configuration.items()):
         print(f"  {name:>24s}: {config.describe()}")
+    if settings.cache and result.backend_stats is not None:
+        print(f"  backend: {result.backend_stats.describe()}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    settings = ExperimentSettings(seed=args.seed, bo_samples=args.bo_samples)
+    settings = _settings_from_args(args)
     table = Table(
         ["method", "samples", "search_runtime_s", "search_cost", "best_runtime_s", "best_cost"],
         precision=1,
         title=f"search comparison on {workload.name} (SLO {workload.slo.latency_limit:.0f}s)",
     )
     exit_code = 0
+    results = {}
+    # One backend for all methods: with --cache, configurations that several
+    # methods visit (baselines, generous initials) are simulated only once.
+    shared_backend = workload.build_backend(
+        backend=settings.backend, cache=settings.cache, workers=settings.workers
+    )
+    previous = shared_backend.stats
     for method in DEFAULT_METHODS:
         searcher = make_searcher(method, workload, settings)
-        objective = workload.build_objective()
+        objective = workload.build_objective(backend=shared_backend)
         result = searcher.search(objective)
+        # The shared stack's counters are cumulative; report each method's
+        # own contribution.
+        snapshot = result.backend_stats
+        result.backend_stats = snapshot.delta(previous)
+        previous = snapshot
+        results[method] = result
         if not result.found_feasible:
             exit_code = 1
         table.add_row(
@@ -134,6 +188,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             result.best_cost if result.found_feasible else float("nan"),
         )
     print(table.render())
+    if settings.cache:
+        print(render_backend_stats(results))
     return exit_code
 
 

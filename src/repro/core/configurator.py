@@ -21,6 +21,7 @@ the most profitable resource knobs are revisited first.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -48,8 +49,8 @@ class PriorityConfiguratorOptions:
     func_trial:
         ``FUNC_TRIAL`` — how many rejected attempts an operation survives
         before retiring.
-    max_trail:
-        ``MAX_TRAIL`` — hard cap on deallocation trials (samples) per path.
+    max_trials:
+        ``MAX_TRIAL`` — hard cap on deallocation trials (samples) per path.
     backoff_decay:
         Multiplier applied to the step size after each rejection.
     min_cost_improvement:
@@ -60,22 +61,38 @@ class PriorityConfiguratorOptions:
         deallocation (e.g. 0.1 accepts only path runtimes below 90 % of the
         budget).  Real platforms jitter run-to-run, so squeezing exactly to
         the SLO during the search would violate it at deployment time.
+    max_trail:
+        Deprecated misspelling of ``max_trials``; passing it warns and
+        overrides ``max_trials``.  Consumed at construction (it reads back
+        as ``None``) so ``dataclasses.replace`` round-trips cleanly.
     """
 
     initial_step_fraction: float = 0.5
     func_trial: int = 3
-    max_trail: int = 64
+    max_trials: int = 64
     backoff_decay: float = 0.5
     min_cost_improvement: float = 1e-9
     slo_safety_margin: float = 0.08
+    max_trail: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.max_trail is not None:
+            warnings.warn(
+                "PriorityConfiguratorOptions.max_trail is deprecated; "
+                "use max_trials instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "max_trials", self.max_trail)
+            # Reset the alias once consumed: a lingering value would override
+            # max_trials again on every dataclasses.replace() round-trip.
+            object.__setattr__(self, "max_trail", None)
         if not 0 < self.initial_step_fraction <= 1:
             raise ValueError("initial_step_fraction must lie in (0, 1]")
         if self.func_trial < 1:
             raise ValueError("func_trial must be at least 1")
-        if self.max_trail < 1:
-            raise ValueError("max_trail must be at least 1")
+        if self.max_trials < 1:
+            raise ValueError("max_trials must be at least 1")
         if not 0 < self.backoff_decay < 1:
             raise ValueError("backoff_decay must lie in (0, 1)")
         if self.min_cost_improvement < 0:
@@ -122,7 +139,10 @@ class PriorityConfigurator:
             modified, everything else is left untouched.
         baseline:
             Evaluation of ``configuration`` if the caller already has one
-            (saves a sample); evaluated here otherwise.
+            (saves a sample); evaluated here otherwise.  With a
+            :class:`~repro.execution.backend.CachingBackend` behind the
+            objective, a previously seen baseline is served from the cache
+            instead of being re-simulated.
         enforce_workflow_slo:
             Also require the end-to-end SLO of the objective to hold for a
             trial to be accepted.
@@ -150,7 +170,7 @@ class PriorityConfigurator:
 
         queue = self._build_queue(path)
         trial_count = 0
-        while queue and trial_count < self.options.max_trail:
+        while queue and trial_count < self.options.max_trials:
             operation, _ = queue.pop()
             candidate_fn_config = self._deallocate(
                 current_config[operation.function_name], operation

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.objective import ConfigurationSearcher, SearchResult, WorkflowObjective
+from repro.execution.backend import EvaluationBackend, SimulatorBackend
 from repro.execution.events import RequestArrival
 from repro.execution.executor import WorkflowExecutor
 from repro.utils.rng import RngStream
@@ -69,11 +70,16 @@ class InputAwareEngine:
         slo: SLO,
         classes: Optional[Sequence[InputClassRule]] = None,
         rng: Optional[RngStream] = None,
+        backend: Optional[EvaluationBackend] = None,
     ) -> None:
         self.searcher = searcher
         self.executor = executor
         self.workflow = workflow
         self.slo = slo
+        # One backend is shared by every per-class objective, so a caching
+        # backend reuses baseline evaluations across classes and across
+        # repeated prepare() calls instead of re-simulating them.
+        self.backend = backend if backend is not None else SimulatorBackend(executor)
         self.classes = list(classes) if classes is not None else default_input_classes()
         if not self.classes:
             raise ValueError("at least one input class is required")
@@ -119,6 +125,7 @@ class InputAwareEngine:
                     slo=self.slo,
                     input_scale=rule.representative_scale,
                     rng=self.rng.child("class", rule.name) if self.rng is not None else None,
+                    backend=self.backend,
                 )
             result = self.searcher.search(objective)
             if not result.found_feasible:

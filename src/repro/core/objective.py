@@ -3,10 +3,13 @@
 Every configuration-search method in this reproduction (AARC, Bayesian
 Optimization, MAFF, random/grid search) optimises the same objective:
 *minimise the cost of one workflow execution subject to the end-to-end
-latency SLO*.  The :class:`WorkflowObjective` wraps the execution simulator
-behind a single ``evaluate`` call, counts samples, and records every sample's
-runtime and cost — the raw material of the paper's Figs. 5–7 (total and
-per-sample search runtime/cost).
+latency SLO*.  The :class:`WorkflowObjective` wraps an
+:class:`~repro.execution.backend.EvaluationBackend` behind ``evaluate`` and
+``evaluate_batch`` calls, counts samples, and records every sample's runtime
+and cost — the raw material of the paper's Figs. 5–7 (total and per-sample
+search runtime/cost).  Swapping the backend (simulator, memoizing cache,
+thread-pool fan-out) changes how evaluations are *served* without changing
+what the searchers observe.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.execution.backend import BackendStats, EvaluationBackend, SimulatorBackend
 from repro.execution.executor import WorkflowExecutor
 from repro.execution.trace import ExecutionTrace
 from repro.utils.rng import RngStream
@@ -188,6 +192,7 @@ class SearchResult:
     best_cost: Optional[float]
     slo: SLO
     history: SearchHistory = field(default_factory=SearchHistory)
+    backend_stats: Optional[BackendStats] = None
 
     @property
     def found_feasible(self) -> bool:
@@ -231,7 +236,9 @@ class WorkflowObjective:
     Parameters
     ----------
     executor:
-        The execution simulator (or an adapter around a real platform).
+        The execution simulator; wrapped in a
+        :class:`~repro.execution.backend.SimulatorBackend` when no explicit
+        ``backend`` is given.
     workflow:
         Workflow under configuration.
     slo:
@@ -244,18 +251,33 @@ class WorkflowObjective:
         ``None`` keeps the search fully deterministic.
     max_samples:
         Hard cap on evaluations; further calls raise :class:`RuntimeError`.
+    backend:
+        Evaluation substrate serving ``evaluate``/``evaluate_batch``.  Takes
+        precedence over ``executor``; sharing one (caching) backend between
+        several objectives shares its memoized evaluations.
     """
 
     def __init__(
         self,
-        executor: WorkflowExecutor,
-        workflow: Workflow,
-        slo: SLO,
+        executor: Optional[WorkflowExecutor] = None,
+        workflow: Optional[Workflow] = None,
+        slo: Optional[SLO] = None,
         input_scale: float = 1.0,
         rng: Optional[RngStream] = None,
         max_samples: Optional[int] = None,
+        backend: Optional[EvaluationBackend] = None,
     ) -> None:
+        # workflow and slo are required; they stay keyword-compatible with
+        # the historical (executor, workflow, slo) positional order, which
+        # forces the None defaults and this runtime check.
+        if workflow is None or slo is None:
+            raise ValueError("workflow and slo are required")
+        if backend is None:
+            if executor is None:
+                raise ValueError("either an executor or a backend is required")
+            backend = SimulatorBackend(executor)
         self.executor = executor
+        self.backend = backend
         self.workflow = workflow
         self.slo = slo
         self.input_scale = float(input_scale)
@@ -273,35 +295,89 @@ class WorkflowObjective:
         """Number of evaluations performed."""
         return self.history.sample_count
 
-    def evaluate(
-        self, configuration: WorkflowConfiguration, phase: str = "search"
-    ) -> EvaluationResult:
-        """Execute the workflow once under ``configuration`` and record it."""
-        if self.max_samples is not None and self.history.sample_count >= self.max_samples:
+    @property
+    def backend_stats(self) -> BackendStats:
+        """Snapshot of the backend's counters (cache hits, simulations, ...)."""
+        return self.backend.stats
+
+    def _sample_rng(self, index: int) -> Optional[RngStream]:
+        """Per-sample noise stream, derived from the sample's history index.
+
+        Deriving from the index (rather than from generator state) keeps
+        batched and parallel evaluation bit-identical to the sequential
+        ``evaluate`` loop.
+        """
+        return self.rng.child("sample", index) if self.rng is not None else None
+
+    def _check_budget(self, requested: int) -> None:
+        if self.max_samples is None:
+            return
+        if self.history.sample_count + requested > self.max_samples:
             raise RuntimeError(
                 f"sample budget exhausted ({self.max_samples} evaluations)"
             )
-        sample_rng = (
-            self.rng.child("sample", self.history.sample_count) if self.rng is not None else None
-        )
-        trace = self.executor.execute(
-            self.workflow,
-            configuration,
-            input_scale=self.input_scale,
-            rng=sample_rng,
-        )
+
+    def _package(self, configuration: WorkflowConfiguration, trace: ExecutionTrace) -> EvaluationResult:
         runtime = trace.end_to_end_latency
-        cost = trace.total_cost
-        result = EvaluationResult(
+        return EvaluationResult(
             configuration=configuration,
             runtime_seconds=runtime,
-            cost=cost,
+            cost=trace.total_cost,
             slo_met=self.slo.is_met(runtime),
             succeeded=trace.succeeded,
             trace=trace,
         )
+
+    def evaluate(
+        self, configuration: WorkflowConfiguration, phase: str = "search"
+    ) -> EvaluationResult:
+        """Execute the workflow once under ``configuration`` and record it."""
+        self._check_budget(1)
+        trace = self.backend.evaluate(
+            self.workflow,
+            configuration,
+            input_scale=self.input_scale,
+            rng=self._sample_rng(self.history.sample_count),
+        )
+        result = self._package(configuration, trace)
         self.history.record(result, phase=phase)
         return result
+
+    def evaluate_batch(
+        self, configurations: Sequence[WorkflowConfiguration], phase: str = "search"
+    ) -> List[EvaluationResult]:
+        """Evaluate many configurations through the backend in one submission.
+
+        Samples are recorded in submission order, so the resulting
+        :class:`SearchHistory` is identical to a sequential ``evaluate`` loop
+        over the same configurations — regardless of how the backend chooses
+        to serve the batch (cache, thread pool, ...).
+        """
+        configurations = list(configurations)
+        if not configurations:
+            return []
+        self._check_budget(len(configurations))
+        base_index = self.history.sample_count
+        rngs = [self._sample_rng(base_index + i) for i in range(len(configurations))]
+        traces = self.backend.evaluate_batch(
+            self.workflow,
+            configurations,
+            input_scale=self.input_scale,
+            rngs=rngs,
+        )
+        if len(traces) != len(configurations):
+            # A short list would silently attribute traces to the wrong
+            # configurations in the history below.
+            raise RuntimeError(
+                f"backend returned {len(traces)} traces for "
+                f"{len(configurations)} configurations"
+            )
+        results: List[EvaluationResult] = []
+        for configuration, trace in zip(configurations, traces):
+            result = self._package(configuration, trace)
+            self.history.record(result, phase=phase)
+            results.append(result)
+        return results
 
     def make_result(self, method: str, best: Optional[EvaluationResult]) -> SearchResult:
         """Package a finished search into a :class:`SearchResult`."""
@@ -313,6 +389,7 @@ class WorkflowObjective:
             best_cost=best.cost if best is not None else None,
             slo=self.slo,
             history=self.history,
+            backend_stats=self.backend.stats,
         )
 
 

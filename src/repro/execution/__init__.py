@@ -12,6 +12,15 @@ from repro.execution.trace import ExecutionStatus, ExecutionTrace, FunctionExecu
 from repro.execution.container import Container, ContainerPool
 from repro.execution.cluster import Cluster, Node, PlacementError, affinity_aware_placement
 from repro.execution.executor import ExecutorOptions, WorkflowExecutor
+from repro.execution.backend import (
+    BACKEND_NAMES,
+    BackendStats,
+    CachingBackend,
+    EvaluationBackend,
+    ParallelBackend,
+    SimulatorBackend,
+    build_backend,
+)
 from repro.execution.events import (
     EventLoop,
     RequestArrival,
@@ -25,6 +34,13 @@ __all__ = [
     "FunctionExecution",
     "Container",
     "ContainerPool",
+    "BACKEND_NAMES",
+    "BackendStats",
+    "EvaluationBackend",
+    "SimulatorBackend",
+    "CachingBackend",
+    "ParallelBackend",
+    "build_backend",
     "Cluster",
     "Node",
     "PlacementError",

@@ -1,0 +1,592 @@
+"""Pluggable evaluation backends.
+
+Every search method observes the platform through a
+:class:`~repro.core.objective.WorkflowObjective`, and the objective in turn
+delegates each evaluation to an :class:`EvaluationBackend`.  The backend layer
+is where the *execution substrate* is chosen and composed:
+
+* :class:`SimulatorBackend` — the default substrate, wrapping one
+  :class:`~repro.execution.executor.WorkflowExecutor` (the paper's testbed
+  stand-in).
+* :class:`CachingBackend` — a decorator memoizing deterministic evaluations
+  keyed on ``(workflow, configuration, input_scale)`` with hit/miss counters.
+  Noisy evaluations (those carrying an :class:`~repro.utils.rng.RngStream`)
+  always bypass the cache.
+* :class:`ParallelBackend` — a decorator fanning :meth:`evaluate_batch` out
+  over a thread pool, preserving submission order.
+
+Backends compose: ``CachingBackend(ParallelBackend(SimulatorBackend(...)))``
+serves repeated configurations from memory and simulates fresh ones in
+parallel.  :func:`build_backend` assembles that stack from plain knobs
+(``backend=``, ``cache=``, ``workers=``) so experiment settings and the CLI
+can select a substrate by name.  Future substrates (multi-provider adapters,
+trace replay, distributed evaluation) plug in by implementing the same
+protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import threading
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.execution.executor import WorkflowExecutor
+from repro.execution.trace import ExecutionTrace
+from repro.utils.rng import RngStream
+from repro.workflow.dag import Workflow
+from repro.workflow.resources import WorkflowConfiguration
+
+__all__ = [
+    "BackendStats",
+    "EvaluationBackend",
+    "SimulatorBackend",
+    "CachingBackend",
+    "ParallelBackend",
+    "BACKEND_NAMES",
+    "build_backend",
+]
+
+#: Substrate names understood by :func:`build_backend` (and the CLI).
+BACKEND_NAMES: Tuple[str, ...] = ("simulator", "parallel")
+
+#: Thread-pool width used when the parallel substrate is selected without an
+#: explicit worker count.
+DEFAULT_PARALLEL_WORKERS = 4
+
+
+@dataclass
+class BackendStats:
+    """Counters describing how a backend served its evaluations.
+
+    Attributes
+    ----------
+    evaluations:
+        Traces returned to callers (cache hits included).
+    simulations:
+        Evaluations that actually ran the underlying substrate.
+    batches:
+        ``evaluate_batch`` calls served.
+    cache_hits / cache_misses:
+        Memoization counters (zero unless a :class:`CachingBackend` is in the
+        stack).
+    """
+
+    evaluations: int = 0
+    simulations: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served from memory."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    def delta(self, previous: "BackendStats") -> "BackendStats":
+        """Counter growth since an earlier snapshot of the same backend.
+
+        Enumerates the dataclass fields, so new counters are picked up
+        automatically.
+        """
+        return BackendStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(previous, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        text = (
+            f"{self.evaluations} evaluations "
+            f"({self.simulations} simulated, {self.batches} batches)"
+        )
+        if self.cache_hits or self.cache_misses:
+            text += (
+                f", cache {self.cache_hits} hits / {self.cache_misses} misses "
+                f"({self.cache_hit_rate * 100:.1f}% hit rate)"
+            )
+        return text
+
+
+class EvaluationBackend(abc.ABC):
+    """Protocol every execution substrate implements.
+
+    A backend turns ``(workflow, configuration, input_scale, rng)`` into an
+    :class:`~repro.execution.trace.ExecutionTrace`.  ``evaluate_batch``
+    evaluates many candidate configurations against the same workflow and
+    input scale, returning traces in submission order; decorators may serve
+    entries from a cache or run them concurrently.
+    """
+
+    #: Short name used in reports and factory lookups.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def evaluate(
+        self,
+        workflow: Workflow,
+        configuration: WorkflowConfiguration,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> ExecutionTrace:
+        """Evaluate one configuration and return its execution trace."""
+
+    def evaluate_batch(
+        self,
+        workflow: Workflow,
+        configurations: Sequence[WorkflowConfiguration],
+        input_scale: float = 1.0,
+        rngs: Optional[Sequence[Optional[RngStream]]] = None,
+    ) -> List[ExecutionTrace]:
+        """Evaluate many configurations; traces come back in submission order.
+
+        ``rngs`` optionally supplies one (pre-derived) random stream per
+        configuration so that noisy batches stay deterministic regardless of
+        the execution order a decorator chooses.
+        """
+        rngs = self._check_rngs(configurations, rngs)
+        return [
+            self.evaluate(workflow, configuration, input_scale=input_scale, rng=rng)
+            for configuration, rng in zip(configurations, rngs)
+        ]
+
+    @property
+    def stats(self) -> BackendStats:
+        """Snapshot of this backend stack's counters."""
+        return BackendStats()
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether identical rng-free evaluations always yield identical traces.
+
+        Stateful substrates (e.g. a simulator with a warm-container pool)
+        are not: the trace depends on what ran before.  Caching layers must
+        not memoize over a non-deterministic substrate.
+        """
+        return True
+
+    def describe(self) -> str:
+        """Human-readable description of the backend stack."""
+        return self.name
+
+    @staticmethod
+    def _check_rngs(
+        configurations: Sequence[WorkflowConfiguration],
+        rngs: Optional[Sequence[Optional[RngStream]]],
+    ) -> Sequence[Optional[RngStream]]:
+        if rngs is None:
+            return [None] * len(configurations)
+        if len(rngs) != len(configurations):
+            raise ValueError(
+                f"rngs length ({len(rngs)}) must match configurations "
+                f"({len(configurations)})"
+            )
+        return rngs
+
+
+class SimulatorBackend(EvaluationBackend):
+    """The default substrate: one evaluation = one simulated execution."""
+
+    name = "simulator"
+
+    def __init__(self, executor: WorkflowExecutor) -> None:
+        self.executor = executor
+        self._lock = threading.Lock()
+        self._stats = BackendStats()
+
+    def evaluate(
+        self,
+        workflow: Workflow,
+        configuration: WorkflowConfiguration,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> ExecutionTrace:
+        trace = self.executor.execute(
+            workflow, configuration, input_scale=input_scale, rng=rng
+        )
+        with self._lock:
+            self._stats.evaluations += 1
+            self._stats.simulations += 1
+        return trace
+
+    def evaluate_batch(
+        self,
+        workflow: Workflow,
+        configurations: Sequence[WorkflowConfiguration],
+        input_scale: float = 1.0,
+        rngs: Optional[Sequence[Optional[RngStream]]] = None,
+    ) -> List[ExecutionTrace]:
+        traces = super().evaluate_batch(workflow, configurations, input_scale, rngs)
+        with self._lock:
+            self._stats.batches += 1
+        return traces
+
+    @property
+    def stats(self) -> BackendStats:
+        with self._lock:
+            return BackendStats(**vars(self._stats))
+
+    @property
+    def deterministic(self) -> bool:
+        # A warm-container pool makes the trace depend on execution history
+        # (the first run pays cold starts, later ones may not).
+        return not self.executor.options.simulate_cold_starts
+
+
+class CachingBackend(EvaluationBackend):
+    """Memoizing decorator for deterministic evaluations.
+
+    The cache key is ``(workflow name, configuration, input_scale)``.  An
+    evaluation carrying an ``rng`` is potentially noisy and therefore always
+    bypasses the cache — both for lookups and for insertion — so noisy
+    objectives observe fresh executions every time.  Likewise, when the inner
+    backend reports itself non-``deterministic`` (e.g. a simulator with
+    ``simulate_cold_starts=True``, whose traces depend on warm-pool history),
+    every evaluation passes straight through: memoizing would replay the
+    first cold-start trace forever and diverge from an uncached run.
+
+    Parameters
+    ----------
+    inner:
+        The substrate serving cache misses.
+    max_entries:
+        Optional LRU capacity; ``None`` keeps every entry.
+    """
+
+    name = "caching"
+
+    def __init__(
+        self, inner: EvaluationBackend, max_entries: Optional[int] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self.inner = inner
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Hashable, ExecutionTrace]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._batches_served = 0  # batches answered without touching inner
+
+    # -- cache plumbing ---------------------------------------------------------
+    @staticmethod
+    def _key(
+        workflow: Workflow, configuration: WorkflowConfiguration, input_scale: float
+    ) -> Hashable:
+        return (workflow.name, configuration, float(input_scale))
+
+    def _lookup(self, key: Hashable) -> Optional[ExecutionTrace]:
+        with self._lock:
+            trace = self._cache.get(key)
+            if trace is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return trace
+
+    def _store(self, key: Hashable, trace: ExecutionTrace) -> None:
+        with self._lock:
+            self._cache[key] = trace
+            self._cache.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._cache) > self.max_entries:
+                    self._cache.popitem(last=False)
+
+    # -- EvaluationBackend ------------------------------------------------------
+    def evaluate(
+        self,
+        workflow: Workflow,
+        configuration: WorkflowConfiguration,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> ExecutionTrace:
+        if rng is not None or not self.inner.deterministic:
+            # Potentially noisy or stateful: never cached, never served
+            # from the cache.
+            return self.inner.evaluate(
+                workflow, configuration, input_scale=input_scale, rng=rng
+            )
+        key = self._key(workflow, configuration, input_scale)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        trace = self.inner.evaluate(workflow, configuration, input_scale=input_scale)
+        self._store(key, trace)
+        return trace
+
+    def evaluate_batch(
+        self,
+        workflow: Workflow,
+        configurations: Sequence[WorkflowConfiguration],
+        input_scale: float = 1.0,
+        rngs: Optional[Sequence[Optional[RngStream]]] = None,
+    ) -> List[ExecutionTrace]:
+        if not self.inner.deterministic:
+            return self.inner.evaluate_batch(workflow, configurations, input_scale, rngs)
+        rngs = self._check_rngs(configurations, rngs)
+        traces: List[Optional[ExecutionTrace]] = [None] * len(configurations)
+
+        # Deterministic entries are looked up first; duplicates within the
+        # batch collapse onto one simulation.  Noisy entries go straight to
+        # the inner backend.
+        miss_indices: List[int] = []
+        first_seen: "OrderedDict[Hashable, int]" = OrderedDict()
+        for index, (configuration, rng) in enumerate(zip(configurations, rngs)):
+            if rng is not None:
+                miss_indices.append(index)
+                continue
+            key = self._key(workflow, configuration, input_scale)
+            cached = self._lookup(key)
+            if cached is not None:
+                traces[index] = cached
+            elif key in first_seen:
+                # Duplicate miss within this batch: simulated once, then
+                # served from the cache below (counted as a hit).
+                with self._lock:
+                    self._misses -= 1
+                    self._hits += 1
+            else:
+                first_seen[key] = index
+                miss_indices.append(index)
+
+        if not miss_indices:
+            # Fully cache-served: the inner backend never sees this batch,
+            # so count it here to keep the batch counter truthful.
+            with self._lock:
+                self._batches_served += 1
+        if miss_indices:
+            miss_traces = self.inner.evaluate_batch(
+                workflow,
+                [configurations[i] for i in miss_indices],
+                input_scale=input_scale,
+                rngs=[rngs[i] for i in miss_indices],
+            )
+            if len(miss_traces) != len(miss_indices):
+                raise RuntimeError(
+                    f"inner backend returned {len(miss_traces)} traces "
+                    f"for {len(miss_indices)} submitted configurations"
+                )
+            for index, trace in zip(miss_indices, miss_traces):
+                traces[index] = trace
+                if rngs[index] is None:
+                    self._store(self._key(workflow, configurations[index], input_scale), trace)
+
+        # Fill duplicate-miss positions from their first occurrence's trace
+        # (not from the cache, which a bounded LRU may already have evicted).
+        for index, (configuration, rng) in enumerate(zip(configurations, rngs)):
+            if traces[index] is None and rng is None:
+                traces[index] = traces[first_seen[self._key(workflow, configuration, input_scale)]]
+        # Every slot is filled by construction; a None here means the inner
+        # backend broke the protocol, and silently dropping it would shift
+        # every later trace onto the wrong configuration.
+        if any(trace is None for trace in traces):
+            raise RuntimeError("inner backend returned no trace for some configurations")
+        return traces  # type: ignore[return-value]
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Evaluations served from the cache."""
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Evaluations that had to run the inner backend."""
+        return self._misses
+
+    @property
+    def cache_size(self) -> int:
+        """Entries currently memoized."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all memoized traces (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    @property
+    def stats(self) -> BackendStats:
+        inner = self.inner.stats
+        with self._lock:
+            return BackendStats(
+                evaluations=inner.evaluations + self._hits,
+                simulations=inner.simulations,
+                batches=inner.batches + self._batches_served,
+                cache_hits=inner.cache_hits + self._hits,
+                cache_misses=inner.cache_misses + self._misses,
+            )
+
+    @property
+    def deterministic(self) -> bool:
+        return self.inner.deterministic
+
+    def describe(self) -> str:
+        capacity = "unbounded" if self.max_entries is None else str(self.max_entries)
+        return f"caching({capacity}) -> {self.inner.describe()}"
+
+
+class ParallelBackend(EvaluationBackend):
+    """Decorator fanning batches out over a thread pool.
+
+    Single evaluations pass straight through; ``evaluate_batch`` submits every
+    configuration to a pool of ``max_workers`` threads and reassembles the
+    traces in submission order.  Determinism is preserved because each batch
+    entry carries its own pre-derived random stream (or none at all) — the
+    simulated traces do not depend on scheduling order.  The one exception is
+    ``simulate_cold_starts=True``: the warm pool is shared state, so *which*
+    concurrent evaluation pays a cold start depends on thread timing; keep
+    cold-start studies on a sequential backend when bit-reproducibility
+    matters.
+    """
+
+    name = "parallel"
+
+    def __init__(self, inner: EvaluationBackend, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.inner = inner
+        self.max_workers = int(max_workers)
+        self._lock = threading.Lock()
+        self._batches = 0
+        # The pool is created lazily on the first fan-out and reused across
+        # batches; repeated small batches would otherwise pay thread spawn
+        # and join costs every call.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-eval",
+                )
+                # Reap the worker threads when this backend is collected so
+                # short-lived backends (one per objective) don't accumulate
+                # idle threads for the life of the process.
+                self._finalizer = weakref.finalize(
+                    self, self._pool.shutdown, wait=False
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later batch re-creates it)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def evaluate(
+        self,
+        workflow: Workflow,
+        configuration: WorkflowConfiguration,
+        input_scale: float = 1.0,
+        rng: Optional[RngStream] = None,
+    ) -> ExecutionTrace:
+        return self.inner.evaluate(
+            workflow, configuration, input_scale=input_scale, rng=rng
+        )
+
+    def evaluate_batch(
+        self,
+        workflow: Workflow,
+        configurations: Sequence[WorkflowConfiguration],
+        input_scale: float = 1.0,
+        rngs: Optional[Sequence[Optional[RngStream]]] = None,
+    ) -> List[ExecutionTrace]:
+        rngs = self._check_rngs(configurations, rngs)
+        if len(configurations) <= 1 or self.max_workers == 1:
+            # Delegate wholesale; the inner backend counts the batch.
+            return self.inner.evaluate_batch(workflow, configurations, input_scale, rngs)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                self.inner.evaluate,
+                workflow,
+                configuration,
+                input_scale,
+                rng,
+            )
+            for configuration, rng in zip(configurations, rngs)
+        ]
+        traces = [future.result() for future in futures]
+        with self._lock:
+            self._batches += 1
+        return traces
+
+    @property
+    def stats(self) -> BackendStats:
+        stats = self.inner.stats
+        with self._lock:
+            stats.batches += self._batches
+        return stats
+
+    @property
+    def deterministic(self) -> bool:
+        return self.inner.deterministic
+
+    def describe(self) -> str:
+        return f"parallel({self.max_workers}) -> {self.inner.describe()}"
+
+
+def build_backend(
+    executor: WorkflowExecutor,
+    name: str = "simulator",
+    cache: bool = False,
+    workers: Optional[int] = None,
+    cache_entries: Optional[int] = None,
+) -> EvaluationBackend:
+    """Assemble a backend stack from plain knobs.
+
+    Parameters
+    ----------
+    executor:
+        The execution simulator at the bottom of the stack.
+    name:
+        ``"simulator"`` (sequential) or ``"parallel"`` (batch fan-out).
+    cache:
+        Wrap the stack in a :class:`CachingBackend` (outermost, so hits never
+        touch the thread pool).
+    workers:
+        Thread-pool width, honoured verbatim when given; values above 1
+        imply the parallel substrate even when ``name`` is ``"simulator"``,
+        and an explicit ``workers=1`` on a ``"parallel"`` backend degenerates
+        to sequential delegation.  When omitted, the parallel substrate uses
+        :data:`DEFAULT_PARALLEL_WORKERS`.
+    cache_entries:
+        Optional LRU capacity for the cache.
+    """
+    key = name.strip().lower()
+    if key not in BACKEND_NAMES:
+        raise KeyError(
+            f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+        )
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be at least 1")
+    if workers is None:
+        workers = DEFAULT_PARALLEL_WORKERS if key == "parallel" else 1
+    backend: EvaluationBackend = SimulatorBackend(executor)
+    if key == "parallel" or workers > 1:
+        backend = ParallelBackend(backend, max_workers=workers)
+    if cache:
+        backend = CachingBackend(backend, max_entries=cache_entries)
+    return backend

@@ -85,7 +85,9 @@ class ContainerPool:
 
         Returns ``(container, cold_start)``.  A warm container is reused only
         when its configuration matches exactly (platforms recycle containers
-        per configuration revision).
+        per configuration revision).  The container is *checked out*: it
+        leaves the pool until :meth:`release` returns it, so concurrent
+        invocations can never share one container.
         """
         self._evict_expired(function_name, timestamp)
         pool = self._containers.setdefault(function_name, [])
@@ -93,6 +95,7 @@ class ContainerPool:
             if container.config == config and container.is_warm_at(
                 timestamp, self.keep_alive_seconds
             ):
+                pool.remove(container)
                 self._stats.warm_hits += 1
                 return container, False
         container = Container(
@@ -102,14 +105,39 @@ class ContainerPool:
             created_at=timestamp,
             last_used_at=timestamp,
         )
-        pool.append(container)
         self._stats.cold_starts += 1
-        self._enforce_capacity(function_name)
         return container, True
 
     def release(self, container: Container, finish_time: float) -> None:
-        """Return a container to the pool after an invocation."""
-        container.record_invocation(finish_time)
+        """Return a checked-out container to the pool after an invocation.
+
+        ``finish_time`` is clamped to the container's last use: configuration
+        searches replay every evaluation from trigger time 0, so a reused
+        warm container can legitimately observe an earlier finish time than
+        its previous invocation.
+        """
+        container.record_invocation(max(finish_time, container.last_used_at))
+        pool = self._containers.setdefault(container.function_name, [])
+        if container not in pool:
+            pool.append(container)
+        self._enforce_capacity(container.function_name)
+
+    def discard(self, container: Container) -> None:
+        """Forcibly remove a pool-resident container (counted as an eviction).
+
+        The executor itself never needs this — checked-out containers that
+        die (OOM) are simply never released — but platform-level studies
+        (node drains, config rollouts) use it to retire idle warm containers.
+        Discarding a checked-out or already-evicted container is a no-op.
+        """
+        pool = self._containers.get(container.function_name)
+        if pool is None:
+            return
+        try:
+            pool.remove(container)
+        except ValueError:
+            return
+        self._stats.evictions += 1
 
     # -- maintenance -----------------------------------------------------------
     def _evict_expired(self, function_name: str, timestamp: float) -> None:
@@ -151,5 +179,5 @@ class ContainerPool:
 
     @property
     def evictions(self) -> int:
-        """Total containers evicted (expiry + capacity)."""
+        """Total containers evicted (expiry, capacity and forced discards)."""
         return self._stats.evictions

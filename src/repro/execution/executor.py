@@ -9,6 +9,7 @@ call, exactly as the paper's methods only observe measured runtime and cost.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -63,6 +64,9 @@ class WorkflowExecutor:
         self.options = options if options is not None else ExecutorOptions()
         self.container_pool = container_pool if container_pool is not None else ContainerPool()
         self._executions = 0
+        # The parallel evaluation backend drives one executor from several
+        # threads; the counter and the warm pool are the only shared state.
+        self._lock = threading.Lock()
 
     @property
     def executions(self) -> int:
@@ -146,7 +150,8 @@ class WorkflowExecutor:
             finish_times[function_name] = record.finish_time
             failed[function_name] = not record.succeeded
 
-        self._executions += 1
+        with self._lock:
+            self._executions += 1
         return trace
 
     # -- single invocation -------------------------------------------------------
@@ -164,9 +169,10 @@ class WorkflowExecutor:
         cold_start = False
         cold_start_seconds = 0.0
         if self.options.simulate_cold_starts:
-            container, cold_start = self.container_pool.acquire(
-                function_name, config, start_time
-            )
+            with self._lock:
+                container, cold_start = self.container_pool.acquire(
+                    function_name, config, start_time
+                )
             if cold_start:
                 cold_start_seconds = self._cold_start_latency(profile_name)
         else:
@@ -175,6 +181,9 @@ class WorkflowExecutor:
         try:
             estimate = function_model.estimate(config, input_scale=input_scale, rng=rng)
         except OutOfMemoryError:
+            # The OOM kill destroys the container.  Acquired containers are
+            # checked out of the warm pool, so simply never releasing this
+            # one keeps dead containers from serving future warm starts.
             if self.options.fail_fast_on_oom:
                 raise
             runtime = 0.0
@@ -204,7 +213,8 @@ class WorkflowExecutor:
         finish_time = start_time + runtime
         cost = self.pricing.invocation_cost(runtime, config)
         if container is not None:
-            self.container_pool.release(container, finish_time)
+            with self._lock:
+                self.container_pool.release(container, finish_time)
         return FunctionExecution(
             function_name=function_name,
             config=config,

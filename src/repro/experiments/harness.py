@@ -17,6 +17,7 @@ from repro.core.configurator import PriorityConfiguratorOptions
 from repro.core.objective import ConfigurationSearcher, SearchResult, WorkflowObjective
 from repro.core.scheduler import SchedulerOptions
 from repro.optimizers.bayesian import BayesianOptimizer, BayesianOptimizerOptions
+from repro.optimizers.grid import GridSearchOptimizer
 from repro.optimizers.maff import MAFFOptimizer, MAFFOptions
 from repro.optimizers.random_search import RandomSearchOptimizer, RandomSearchOptions
 from repro.utils.rng import RngStream
@@ -28,6 +29,7 @@ __all__ = [
     "make_searcher",
     "make_methods",
     "run_method_on_workload",
+    "build_objective",
     "DEFAULT_METHODS",
     "DEFAULT_WORKLOADS",
 ]
@@ -58,6 +60,16 @@ class ExperimentSettings:
         When True, searches observe noisy executions (the paper's searches run
         on a real, noisy platform); deterministic by default for reproducible
         unit results.
+    backend:
+        Evaluation substrate name (``"simulator"`` or ``"parallel"``).
+    cache:
+        Memoize deterministic evaluations behind a
+        :class:`~repro.execution.backend.CachingBackend`.  Noisy searches
+        bypass the cache automatically.
+    workers:
+        Thread-pool width for batched evaluation; values above 1 imply the
+        parallel substrate, and ``None`` lets the backend pick its default
+        width.
     """
 
     seed: int = 2025
@@ -67,6 +79,9 @@ class ExperimentSettings:
         default_factory=PriorityConfiguratorOptions
     )
     search_noise: bool = False
+    backend: str = "simulator"
+    cache: bool = False
+    workers: Optional[int] = None
 
 
 def make_searcher(
@@ -113,7 +128,11 @@ def make_searcher(
             config_space=space,
             options=RandomSearchOptions(max_samples=settings.bo_samples, seed=settings.seed),
         )
-    raise KeyError(f"unknown method {method!r}; expected one of AARC, BO, MAFF, Random")
+    if key == "GRID":
+        return GridSearchOptimizer(config_space=space)
+    raise KeyError(
+        f"unknown method {method!r}; expected one of AARC, BO, MAFF, Random, Grid"
+    )
 
 
 def make_methods(
@@ -135,15 +154,16 @@ def run_method_on_workload(
     settings = settings if settings is not None else ExperimentSettings()
     workload = get_workload(workload_name)
     searcher = make_searcher(method, workload, settings)
-    objective = _build_objective(workload, settings, input_scale=input_scale)
+    objective = build_objective(workload, settings, input_scale=input_scale)
     return searcher.search(objective)
 
 
-def _build_objective(
+def build_objective(
     workload: WorkloadSpec,
     settings: ExperimentSettings,
     input_scale: Optional[float] = None,
 ) -> WorkflowObjective:
+    """Build a workload objective honouring the settings' backend knobs."""
     rng = None
     if settings.search_noise:
         from repro.perfmodel.noise import LognormalNoise
@@ -152,4 +172,12 @@ def _build_objective(
         rng = RngStream(settings.seed, f"search/{workload.name}")
     else:
         executor = workload.build_executor()
-    return workload.build_objective(executor=executor, input_scale=input_scale, rng=rng)
+    backend = workload.build_backend(
+        executor=executor,
+        backend=settings.backend,
+        cache=settings.cache,
+        workers=settings.workers,
+    )
+    return workload.build_objective(
+        executor=executor, input_scale=input_scale, rng=rng, backend=backend
+    )

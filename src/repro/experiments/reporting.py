@@ -8,8 +8,9 @@ copied into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
+from repro.core.objective import SearchResult
 from repro.experiments.input_aware_experiment import InputAwareComparison
 from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
 from repro.experiments.optimal_experiment import OptimalConfigurationStats
@@ -23,6 +24,7 @@ __all__ = [
     "render_trajectories",
     "render_table2",
     "render_input_aware",
+    "render_backend_stats",
 ]
 
 
@@ -120,6 +122,34 @@ def render_trajectories(comparison: SearchComparison, kind: str = "runtime") -> 
                 )
             )
     return "\n".join(lines)
+
+
+def render_backend_stats(results: Mapping[str, SearchResult]) -> str:
+    """Render evaluation-backend counters per labelled search result.
+
+    Reports cache hit rates alongside the sample counts so cached and
+    uncached runs can be compared at a glance; results whose objective ran
+    without a caching backend show zero lookups.
+    """
+    table = Table(
+        ["run", "samples", "simulations", "cache_hits", "cache_misses", "hit_rate"],
+        precision=2,
+        title="evaluation backend statistics",
+    )
+    for label, result in results.items():
+        stats = result.backend_stats
+        if stats is None:
+            table.add_row(label, result.sample_count, "-", "-", "-", "-")
+            continue
+        table.add_row(
+            label,
+            result.sample_count,
+            stats.simulations,
+            stats.cache_hits,
+            stats.cache_misses,
+            f"{stats.cache_hit_rate * 100:.1f}%",
+        )
+    return table.render()
 
 
 def render_table2(stats: Iterable[OptimalConfigurationStats]) -> str:

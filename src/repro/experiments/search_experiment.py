@@ -22,7 +22,7 @@ from repro.experiments.harness import (
     DEFAULT_WORKLOADS,
     ExperimentSettings,
     make_searcher,
-    _build_objective,
+    build_objective,
 )
 from repro.workloads.registry import get_workload
 
@@ -143,7 +143,7 @@ def run_search_comparison(
         workload = get_workload(workload_name)
         for method in methods:
             searcher = make_searcher(method, workload, settings)
-            objective = _build_objective(workload, settings)
+            objective = build_objective(workload, settings)
             result = searcher.search(objective)
             comparison.add(MethodRun(workload=workload_name, method=method, result=result))
     return comparison

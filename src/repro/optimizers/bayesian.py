@@ -107,21 +107,22 @@ class BayesianOptimizer(ConfigurationSearcher):
         observed_y: List[float] = []
         best: Optional[EvaluationResult] = None
 
+        # The initial design has no sequential dependency, so it is submitted
+        # as one batch (parallel backends fan it out, caches serve repeats).
+        initial_design: List[WorkflowConfiguration] = []
         n_initial = min(self.options.n_initial_samples, budget)
         if self.options.include_generous_initial and budget > 0:
-            generous = WorkflowConfiguration.uniform(
-                function_names, self.config_space.max_config()
-            )
-            best = self._observe(
-                objective, generous, observed_x, observed_y, best, phase="bo-init"
+            initial_design.append(
+                WorkflowConfiguration.uniform(function_names, self.config_space.max_config())
             )
             n_initial = max(0, min(n_initial, budget - 1))
-        for index in range(n_initial):
-            configuration = self.config_space.random_configuration(
-                function_names, rng.child("init", index)
-            )
-            best = self._observe(
-                objective, configuration, observed_x, observed_y, best, phase="bo-init"
+        initial_design.extend(
+            self.config_space.random_configuration(function_names, rng.child("init", index))
+            for index in range(n_initial)
+        )
+        for result in objective.evaluate_batch(initial_design, phase="bo-init"):
+            best = self._record_observation(
+                objective, result, observed_x, observed_y, best
             )
 
         round_index = 0
@@ -155,7 +156,19 @@ class BayesianOptimizer(ConfigurationSearcher):
         phase: str,
     ) -> Optional[EvaluationResult]:
         result = objective.evaluate(configuration, phase=phase)
-        observed_x.append(self.config_space.encode(configuration, objective.function_names))
+        return self._record_observation(objective, result, observed_x, observed_y, best)
+
+    def _record_observation(
+        self,
+        objective: WorkflowObjective,
+        result: EvaluationResult,
+        observed_x: List[np.ndarray],
+        observed_y: List[float],
+        best: Optional[EvaluationResult],
+    ) -> Optional[EvaluationResult]:
+        observed_x.append(
+            self.config_space.encode(result.configuration, objective.function_names)
+        )
         observed_y.append(self._scalar_objective(result, objective))
         if result.feasible and (best is None or result.cost < best.cost):
             return result

@@ -71,16 +71,20 @@ class GridSearchOptimizer(ConfigurationSearcher):
         return objective.make_result(self.name, best)
 
     def sweep(self, objective: WorkflowObjective) -> List[EvaluationResult]:
-        """Evaluate the whole grid and return every result (for heat maps)."""
-        results: List[EvaluationResult] = []
+        """Evaluate the whole grid and return every result (for heat maps).
+
+        The grid is submitted as one batch, so a caching backend serves
+        repeated sweeps from memory and a parallel backend evaluates the grid
+        points concurrently.
+        """
+        configurations: List[WorkflowConfiguration] = []
         for vcpu in self.options.vcpu_values:
             for memory in self.options.memory_values_mb:
                 config = self.config_space.snap(ResourceConfig(vcpu=vcpu, memory_mb=memory))
-                configuration = WorkflowConfiguration.uniform(
-                    objective.function_names, config
+                configurations.append(
+                    WorkflowConfiguration.uniform(objective.function_names, config)
                 )
-                results.append(objective.evaluate(configuration, phase="grid"))
-        return results
+        return objective.evaluate_batch(configurations, phase="grid")
 
     def grid_points(self) -> Sequence[Tuple[float, float]]:
         """All (vCPU, memory) pairs of the sweep in evaluation order."""

@@ -48,15 +48,21 @@ class RandomSearchOptimizer(ConfigurationSearcher):
         self.options = options if options is not None else RandomSearchOptions()
 
     def search(self, objective: WorkflowObjective) -> SearchResult:
-        """Evaluate ``max_samples`` random configurations, keep the best."""
+        """Evaluate ``max_samples`` random configurations, keep the best.
+
+        The whole design is drawn up front and submitted as one batch, so
+        parallel backends can fan the evaluations out.
+        """
         rng = RngStream(self.options.seed, f"random/{objective.workflow.name}")
         budget = self._budget(objective)
-        best: Optional[EvaluationResult] = None
-        for index in range(budget):
-            configuration = self.config_space.random_configuration(
+        configurations = [
+            self.config_space.random_configuration(
                 objective.function_names, rng.child(index)
             )
-            result = objective.evaluate(configuration, phase="random")
+            for index in range(budget)
+        ]
+        best: Optional[EvaluationResult] = None
+        for result in objective.evaluate_batch(configurations, phase="random"):
             if result.feasible and (best is None or result.cost < best.cost):
                 best = result
         return objective.make_result(self.name, best)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.execution.backend import EvaluationBackend, build_backend
 from repro.execution.executor import ExecutorOptions, WorkflowExecutor
 from repro.perfmodel.analytic import FunctionProfile
 from repro.perfmodel.noise import NoiseModel
@@ -83,6 +84,19 @@ class WorkloadSpec:
             options=options,
         )
 
+    def build_backend(
+        self,
+        executor: Optional[WorkflowExecutor] = None,
+        noise: Optional[NoiseModel] = None,
+        backend: str = "simulator",
+        cache: bool = False,
+        workers: Optional[int] = None,
+    ) -> EvaluationBackend:
+        """Create an evaluation backend stack over this workload's simulator."""
+        if executor is None:
+            executor = self.build_executor(noise=noise)
+        return build_backend(executor, name=backend, cache=cache, workers=workers)
+
     def build_objective(
         self,
         executor: Optional[WorkflowExecutor] = None,
@@ -90,9 +104,16 @@ class WorkloadSpec:
         rng: Optional[RngStream] = None,
         max_samples: Optional[int] = None,
         noise: Optional[NoiseModel] = None,
+        backend: Optional[EvaluationBackend] = None,
     ) -> WorkflowObjective:
-        """Create a fresh sample-counting objective for this workload."""
-        if executor is None:
+        """Create a fresh sample-counting objective for this workload.
+
+        Passing a ``backend`` (e.g. a shared
+        :class:`~repro.execution.backend.CachingBackend`) overrides the
+        default simulator substrate; a backend shared between objectives
+        shares its memoized evaluations.
+        """
+        if executor is None and backend is None:
             executor = self.build_executor(noise=noise)
         return WorkflowObjective(
             executor=executor,
@@ -101,6 +122,7 @@ class WorkloadSpec:
             input_scale=input_scale if input_scale is not None else self.default_input_scale,
             rng=rng,
             max_samples=max_samples,
+            backend=backend,
         )
 
     def base_configuration(self) -> WorkflowConfiguration:

@@ -15,13 +15,38 @@ class TestOptionsValidation:
         with pytest.raises(ValueError):
             PriorityConfiguratorOptions(func_trial=0)
         with pytest.raises(ValueError):
-            PriorityConfiguratorOptions(max_trail=0)
+            PriorityConfiguratorOptions(max_trials=0)
         with pytest.raises(ValueError):
             PriorityConfiguratorOptions(backoff_decay=1.0)
         with pytest.raises(ValueError):
             PriorityConfiguratorOptions(min_cost_improvement=-1)
         with pytest.raises(ValueError):
             PriorityConfiguratorOptions(slo_safety_margin=1.0)
+
+    def test_max_trail_alias_warns_and_overrides(self):
+        with pytest.warns(DeprecationWarning):
+            options = PriorityConfiguratorOptions(max_trail=7)
+        assert options.max_trials == 7
+        # The alias is consumed at construction.
+        assert options.max_trail is None
+
+    def test_replace_round_trips_without_alias_interference(self, recwarn):
+        import dataclasses
+
+        base = PriorityConfiguratorOptions()
+        updated = dataclasses.replace(base, max_trials=128)
+        assert updated.max_trials == 128
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+    def test_max_trail_alias_still_validated(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                PriorityConfiguratorOptions(max_trail=0)
+
+    def test_max_trials_does_not_warn(self, recwarn):
+        options = PriorityConfiguratorOptions(max_trials=9)
+        assert options.max_trials == 9
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
 
 
 class TestConfigurePath:
@@ -77,7 +102,7 @@ class TestConfigurePath:
         )
         configurator = PriorityConfigurator(
             ConfigurationSpace(),
-            PriorityConfiguratorOptions(max_trail=5),
+            PriorityConfiguratorOptions(max_trials=5),
         )
         configurator.configure_path(
             objective,
@@ -85,7 +110,7 @@ class TestConfigurePath:
             path_slo=diamond_slo,
             configuration=diamond_base_configuration,
         )
-        # one baseline evaluation + at most max_trail trials
+        # one baseline evaluation + at most max_trials trials
         assert objective.sample_count <= 6
 
     def test_tight_slo_keeps_base_configuration(self, diamond_objective,
@@ -131,7 +156,7 @@ class TestConfigurePath:
         before = diamond_objective.sample_count
         configurator = PriorityConfigurator(
             ConfigurationSpace(),
-            PriorityConfiguratorOptions(max_trail=1),
+            PriorityConfiguratorOptions(max_trials=1),
         )
         configurator.configure_path(
             diamond_objective,

@@ -5,6 +5,7 @@ import pytest
 from repro.core.aarc import AARC, AARCOptions
 from repro.core.input_aware import InputAwareEngine, InputClassRule, default_input_classes
 from repro.core.scheduler import SchedulerOptions
+from repro.execution.backend import CachingBackend, SimulatorBackend
 from repro.execution.events import RequestArrival
 from repro.workflow.resources import ResourceConfig
 
@@ -68,6 +69,34 @@ class TestEngineConstruction:
                     InputClassRule("x", max_scale=2.0, representative_scale=2.0),
                 ],
             )
+
+    def test_shared_backend_reuses_cached_baselines(self, diamond_executor,
+                                                    diamond_workflow, diamond_slo):
+        searcher = AARC(
+            options=AARCOptions(scheduler=SchedulerOptions(base_config=ResourceConfig(4, 2048)))
+        )
+        backend = CachingBackend(SimulatorBackend(diamond_executor))
+        classes = [
+            InputClassRule(name="light", max_scale=0.6, representative_scale=0.5),
+            InputClassRule(name="heavy", max_scale=float("inf"), representative_scale=1.5),
+        ]
+
+        def prepare():
+            engine = InputAwareEngine(
+                searcher=searcher, executor=diamond_executor, workflow=diamond_workflow,
+                slo=diamond_slo, classes=classes, backend=backend,
+            )
+            engine.prepare()
+            return engine
+
+        prepare()
+        simulations_after_first = backend.stats.simulations
+        hits_after_first = backend.cache_hits
+        # A second offline phase re-searches both classes, but every
+        # evaluation is already memoized — nothing is re-simulated.
+        prepare()
+        assert backend.stats.simulations == simulations_after_first
+        assert backend.cache_hits > hits_after_first
 
 
 class TestClassification:

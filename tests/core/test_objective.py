@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core.objective import SearchHistory, WorkflowObjective
+from repro.execution.backend import CachingBackend, ParallelBackend, SimulatorBackend
+from repro.optimizers.grid import GridSearchOptimizer
 from repro.workflow.resources import ResourceConfig
 
 
@@ -72,6 +74,142 @@ class TestWorkflowObjective:
         assert result.best_cost == best.cost
         assert result.sample_count == diamond_objective.sample_count
         assert "X on diamond" in result.summary()
+
+
+class TestEvaluateBatch:
+    def _variants(self, base, count):
+        return [
+            base.updated("right", ResourceConfig(vcpu=2.0, memory_mb=1024.0 + 128.0 * i))
+            for i in range(count)
+        ]
+
+    def test_batch_matches_sequential_history(self, diamond_executor, diamond_workflow,
+                                              diamond_slo, diamond_base_configuration):
+        configurations = self._variants(diamond_base_configuration, 4)
+        batched = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        sequential = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        batched.evaluate_batch(configurations, phase="grid")
+        for configuration in configurations:
+            sequential.evaluate(configuration, phase="grid")
+        assert batched.history.cost_series() == sequential.history.cost_series()
+        assert batched.history.runtime_series() == sequential.history.runtime_series()
+
+    def test_batch_sample_indices_in_submission_order(self, diamond_objective,
+                                                      diamond_base_configuration):
+        configurations = self._variants(diamond_base_configuration, 3)
+        results = diamond_objective.evaluate_batch(configurations)
+        samples = diamond_objective.history.samples
+        assert [s.index for s in samples] == [0, 1, 2]
+        assert [s.configuration for s in samples] == configurations
+        assert [r.configuration for r in results] == configurations
+
+    def test_batch_respects_sample_budget(self, diamond_executor, diamond_workflow,
+                                          diamond_slo, diamond_base_configuration):
+        objective = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo,
+            max_samples=2,
+        )
+        with pytest.raises(RuntimeError):
+            objective.evaluate_batch(self._variants(diamond_base_configuration, 3))
+        # Nothing was recorded: the budget check happens before submission.
+        assert objective.sample_count == 0
+
+    def test_empty_batch_is_noop(self, diamond_objective):
+        assert diamond_objective.evaluate_batch([]) == []
+        assert diamond_objective.sample_count == 0
+
+    def test_backend_required_without_executor(self, diamond_workflow, diamond_slo):
+        with pytest.raises(ValueError):
+            WorkflowObjective(workflow=diamond_workflow, slo=diamond_slo)
+
+    def test_parallel_backend_batch_matches_sequential(self, diamond_executor,
+                                                       diamond_workflow, diamond_slo,
+                                                       diamond_base_configuration):
+        configurations = self._variants(diamond_base_configuration, 5)
+        parallel = WorkflowObjective(
+            workflow=diamond_workflow, slo=diamond_slo,
+            backend=ParallelBackend(SimulatorBackend(diamond_executor), max_workers=4),
+        )
+        sequential = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        parallel.evaluate_batch(configurations)
+        for configuration in configurations:
+            sequential.evaluate(configuration)
+        assert parallel.history.cost_series() == sequential.history.cost_series()
+
+    def test_noisy_parallel_batch_matches_sequential(self, diamond_profiles,
+                                                     diamond_workflow, diamond_slo,
+                                                     diamond_base_configuration):
+        # The per-sample RNGs are derived from history indices, so a noisy
+        # batch fanned out over threads must be bit-identical to the same
+        # objective evaluated sequentially with the same root stream.
+        from repro.perfmodel.noise import LognormalNoise
+        from repro.perfmodel.registry import PerformanceModelRegistry
+        from repro.utils.rng import RngStream
+        from repro.execution.executor import WorkflowExecutor
+
+        registry = PerformanceModelRegistry.from_profiles(
+            diamond_profiles, noise=LognormalNoise(0.1)
+        )
+        configurations = self._variants(diamond_base_configuration, 6)
+
+        def run(parallel):
+            executor = WorkflowExecutor(registry)
+            backend = (
+                ParallelBackend(SimulatorBackend(executor), max_workers=4)
+                if parallel
+                else SimulatorBackend(executor)
+            )
+            objective = WorkflowObjective(
+                workflow=diamond_workflow, slo=diamond_slo,
+                rng=RngStream(2025, "noisy-batch"), backend=backend,
+            )
+            if parallel:
+                objective.evaluate_batch(configurations)
+            else:
+                for configuration in configurations:
+                    objective.evaluate(configuration)
+            return objective.history.runtime_series()
+
+        series = run(parallel=True)
+        assert series == run(parallel=False)
+        assert len(set(series)) > 1  # the noise really is active
+
+
+class TestCachedSearch:
+    def test_repeated_grid_search_hits_cache_and_matches_uncached(
+        self, diamond_executor, diamond_workflow, diamond_slo
+    ):
+        """Acceptance: a repeated grid search over a shared caching backend
+        reports cache hits and an identical result to the uncached run."""
+        backend = CachingBackend(SimulatorBackend(diamond_executor))
+        searcher = GridSearchOptimizer()
+
+        def run(use_backend):
+            objective = WorkflowObjective(
+                executor=diamond_executor,
+                workflow=diamond_workflow,
+                slo=diamond_slo,
+                backend=backend if use_backend else None,
+            )
+            return searcher.search(objective)
+
+        uncached = run(False)
+        first = run(True)
+        second = run(True)
+        assert backend.cache_hits > 0
+        assert second.best_configuration == uncached.best_configuration
+        assert second.best_cost == uncached.best_cost
+        assert second.history.cost_series() == uncached.history.cost_series()
+        assert second.history.runtime_series() == uncached.history.runtime_series()
+        assert first.best_cost == second.best_cost
+        # The second sweep was served entirely from memory.
+        assert second.backend_stats.cache_hit_rate > 0.4
 
 
 class TestSearchHistory:

@@ -131,9 +131,9 @@ class TestAARCFacade:
         assert searcher.name == "AARC"
 
     def test_configurator_options_forwarded(self):
-        options = AARCOptions(configurator=PriorityConfiguratorOptions(max_trail=7))
+        options = AARCOptions(configurator=PriorityConfiguratorOptions(max_trials=7))
         searcher = AARC(options=options)
-        assert searcher.scheduler.configurator.options.max_trail == 7
+        assert searcher.scheduler.configurator.options.max_trials == 7
 
     def test_default_construction(self):
         searcher = AARC()

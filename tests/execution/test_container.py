@@ -91,3 +91,35 @@ class TestContainerPool:
         pool.clear()
         _, cold = pool.acquire("f", CONFIG, timestamp=1.0)
         assert cold
+
+    def test_checked_out_container_is_not_shared(self):
+        pool = ContainerPool()
+        a, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(a, finish_time=1.0)
+        # While a is checked out again, a concurrent acquire must cold-start.
+        b, cold_b = pool.acquire("f", CONFIG, timestamp=2.0)
+        c, cold_c = pool.acquire("f", CONFIG, timestamp=2.0)
+        assert not cold_b and cold_c
+        assert b.container_id != c.container_id
+
+    def test_release_clamps_non_monotonic_finish_times(self):
+        pool = ContainerPool()
+        a, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(a, finish_time=10.0)
+        b, cold = pool.acquire("f", CONFIG, timestamp=0.0)
+        assert not cold and b is a
+        # Search loops restart the clock at 0; an earlier finish must not raise.
+        pool.release(b, finish_time=5.0)
+        assert b.last_used_at == 10.0
+
+    def test_discard_removes_pooled_container(self):
+        pool = ContainerPool()
+        a, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(a, finish_time=1.0)
+        pool.discard(a)
+        assert pool.warm_count("f", timestamp=2.0) == 0
+        assert pool.evictions == 1
+        # Discarding a checked-out (or already removed) container is a no-op.
+        b, _ = pool.acquire("f", CONFIG, timestamp=3.0)
+        pool.discard(b)
+        assert pool.evictions == 1

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.execution.container import ContainerPool
 from repro.execution.executor import ExecutorOptions, WorkflowExecutor
 from repro.execution.trace import ExecutionStatus
 from repro.perfmodel.base import OutOfMemoryError
@@ -131,6 +132,88 @@ class TestColdStarts:
                                       diamond_base_configuration):
         trace = diamond_executor.execute(diamond_workflow, diamond_base_configuration)
         assert trace.cold_start_count == 0
+
+    def test_repeated_searches_reuse_warm_containers_without_error(
+        self, diamond_workflow, diamond_registry, diamond_base_configuration
+    ):
+        # Regression: search loops replay every evaluation from trigger time
+        # 0, so a reused warm container sees non-monotonic finish times; the
+        # pool clamps instead of raising "finish_time cannot move backwards".
+        executor = WorkflowExecutor(
+            diamond_registry, options=ExecutorOptions(simulate_cold_starts=True)
+        )
+        for _ in range(4):
+            trace = executor.execute(diamond_workflow, diamond_base_configuration)
+            assert trace.succeeded
+        # First execution pays the cold starts, later ones run warm.
+        assert executor.container_pool.cold_starts == len(diamond_workflow)
+        assert executor.container_pool.warm_hits == 3 * len(diamond_workflow)
+
+    def test_noisy_warm_reuse_tolerates_shorter_runs(self, diamond_workflow,
+                                                     diamond_profiles,
+                                                     diamond_base_configuration):
+        # With noise, a later run can finish *earlier* than the previous
+        # one's finish time; the clamp must absorb that.
+        registry = PerformanceModelRegistry.from_profiles(
+            diamond_profiles, noise=LognormalNoise(0.3)
+        )
+        executor = WorkflowExecutor(
+            registry, options=ExecutorOptions(simulate_cold_starts=True)
+        )
+        for seed in range(10):
+            trace = executor.execute(
+                diamond_workflow, diamond_base_configuration, rng=RngStream(seed)
+            )
+            assert trace.succeeded
+
+
+class TestOomContainerLifecycle:
+    """Regression: the OOM path must not leak acquired warm containers."""
+
+    def _starved(self, diamond_base_configuration):
+        return diamond_base_configuration.updated("left", ResourceConfig(vcpu=4, memory_mb=128))
+
+    def test_oom_killed_container_is_discarded(self, diamond_workflow, diamond_registry,
+                                               diamond_base_configuration):
+        executor = WorkflowExecutor(
+            diamond_registry, options=ExecutorOptions(simulate_cold_starts=True)
+        )
+        trace = executor.execute(diamond_workflow, self._starved(diamond_base_configuration))
+        pool = executor.container_pool
+        finish = trace.record("left").finish_time
+        # The OOM-killed container must not linger in the warm pool...
+        assert pool.warm_count("left", finish) == 0
+        # ...while successful functions keep their warm containers.
+        assert pool.warm_count("right", trace.record("right").finish_time) == 1
+
+    def test_repeated_ooms_do_not_crowd_out_live_containers(self, diamond_workflow,
+                                                            diamond_registry,
+                                                            diamond_base_configuration):
+        pool = ContainerPool(max_containers_per_function=2)
+        executor = WorkflowExecutor(
+            diamond_registry,
+            options=ExecutorOptions(simulate_cold_starts=True),
+            container_pool=pool,
+        )
+        starved = self._starved(diamond_base_configuration)
+        last = 0.0
+        for _ in range(5):
+            trace = executor.execute(diamond_workflow, starved, trigger_time=last)
+            last = trace.record("right").finish_time + 1.0
+        # Dead containers never accumulate, so the capacity cap (2) is not
+        # consumed by OOM corpses.
+        assert pool.warm_count("left", last) == 0
+        assert pool.warm_count("right", last) >= 1
+
+    def test_fail_fast_oom_discards_container_too(self, diamond_workflow, diamond_registry,
+                                                  diamond_base_configuration):
+        executor = WorkflowExecutor(
+            diamond_registry,
+            options=ExecutorOptions(simulate_cold_starts=True, fail_fast_on_oom=True),
+        )
+        with pytest.raises(OutOfMemoryError):
+            executor.execute(diamond_workflow, self._starved(diamond_base_configuration))
+        assert executor.container_pool.warm_count("left", 0.0) == 0
 
 
 class TestNoise:

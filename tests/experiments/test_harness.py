@@ -3,15 +3,18 @@
 import pytest
 
 from repro.core.aarc import AARC
+from repro.execution.backend import CachingBackend, ParallelBackend, SimulatorBackend
 from repro.experiments.harness import (
     DEFAULT_METHODS,
     DEFAULT_WORKLOADS,
     ExperimentSettings,
+    build_objective,
     make_methods,
     make_searcher,
     run_method_on_workload,
 )
 from repro.optimizers.bayesian import BayesianOptimizer
+from repro.optimizers.grid import GridSearchOptimizer
 from repro.optimizers.maff import MAFFOptimizer
 from repro.optimizers.random_search import RandomSearchOptimizer
 from repro.workloads.registry import get_workload
@@ -47,6 +50,35 @@ class TestMakeSearcher:
         settings = ExperimentSettings(bo_samples=17)
         searcher = make_searcher("BO", get_workload("chatbot"), settings)
         assert searcher.options.max_samples == 17
+
+    def test_grid_method(self):
+        assert isinstance(make_searcher("Grid", get_workload("chatbot")), GridSearchOptimizer)
+
+
+class TestBuildObjective:
+    def test_default_backend_is_simulator(self):
+        workload = get_workload("chatbot")
+        objective = build_objective(workload, ExperimentSettings())
+        assert isinstance(objective.backend, SimulatorBackend)
+
+    def test_cache_knob_wraps_caching_backend(self):
+        workload = get_workload("chatbot")
+        objective = build_objective(workload, ExperimentSettings(cache=True))
+        assert isinstance(objective.backend, CachingBackend)
+
+    def test_worker_knob_wraps_parallel_backend(self):
+        workload = get_workload("chatbot")
+        objective = build_objective(workload, ExperimentSettings(workers=4))
+        assert isinstance(objective.backend, ParallelBackend)
+
+    def test_cached_run_matches_uncached(self):
+        workload = get_workload("chatbot")
+        plain = run_method_on_workload("Random", "chatbot")
+        settings = ExperimentSettings(cache=True, workers=2)
+        searcher = make_searcher("Random", workload, settings)
+        cached = searcher.search(build_objective(workload, settings))
+        assert cached.best_cost == plain.best_cost
+        assert cached.history.cost_series() == plain.history.cost_series()
 
 
 class TestMakeMethods:

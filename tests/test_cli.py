@@ -18,10 +18,33 @@ class TestParser:
         assert args.method == "AARC"
         assert args.bo_samples == 100
         assert args.seed == 2025
+        assert args.backend == "simulator"
+        assert args.cache is False
+        assert args.workers is None
 
     def test_invalid_method_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "chatbot", "--method", "magic"])
+
+    def test_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["search", "chatbot", "--backend", "parallel", "--cache", "--workers", "4"]
+        )
+        assert args.backend == "parallel"
+        assert args.cache is True
+        assert args.workers == 4
+
+    def test_no_cache_flag(self):
+        args = build_parser().parse_args(["compare", "chatbot", "--no-cache"])
+        assert args.cache is False
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "chatbot", "--backend", "quantum"])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "chatbot", "--workers", "0"])
 
 
 class TestCommands:
@@ -53,6 +76,16 @@ class TestCommands:
     def test_search_maff(self, capsys):
         assert main(["search", "ml-pipeline", "--method", "MAFF"]) == 0
         assert "MAFF on ml-pipeline" in capsys.readouterr().out
+
+    def test_search_with_cache_reports_backend(self, capsys):
+        assert main(["search", "chatbot", "--cache", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "AARC on chatbot" in output
+        assert "backend:" in output
+
+    def test_search_grid_method(self, capsys):
+        assert main(["search", "chatbot", "--method", "Grid"]) == 0
+        assert "Grid on chatbot" in capsys.readouterr().out
 
     def test_heatmap(self, capsys):
         assert main(["heatmap", "chatbot"]) == 0
