@@ -9,6 +9,11 @@ Exposes the most common operations of the library without writing Python:
 * ``repro-aarc compare <workload>`` — run AARC, BO and MAFF and print the
   search-efficiency and outcome comparison.
 * ``repro-aarc heatmap <workload>`` — regenerate the Fig. 2 decoupling sweep.
+* ``repro-aarc serve --workload <workload>`` — drive a configured workflow
+  through a traffic model on the event-driven serving layer and report
+  throughput, tail latency, SLO attainment, cold starts and cost.
+
+The ``repro`` console script is an alias of ``repro-aarc``.
 
 The CLI is intentionally a thin veneer over :mod:`repro.experiments`; every
 command is equally accessible from Python.
@@ -19,7 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.execution.backend import BACKEND_NAMES
 from repro.experiments.harness import (
@@ -29,7 +34,13 @@ from repro.experiments.harness import (
     make_searcher,
 )
 from repro.experiments.motivation import decoupling_heatmap
-from repro.experiments.reporting import render_backend_stats, render_heatmap
+from repro.experiments.reporting import (
+    render_backend_stats,
+    render_heatmap,
+    render_serving_report,
+)
+from repro.experiments.serving_experiment import ServingSettings, run_serving_experiment
+from repro.workloads.arrivals import ARRIVAL_NAMES
 from repro.utils.tables import Table
 from repro.workflow.serialization import configuration_to_dict
 from repro.workloads.registry import get_workload, list_workloads
@@ -93,6 +104,57 @@ def build_parser() -> argparse.ArgumentParser:
 
     heatmap = subparsers.add_parser("heatmap", help="decoupled (vCPU, memory) sweep (Fig. 2)")
     heatmap.add_argument("workload")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a traffic stream through the event-driven serving layer"
+    )
+    serve.add_argument(
+        "--workload", default="video-analysis",
+        help="workload whose workflow is served (see 'workloads')",
+    )
+    serve.add_argument(
+        "--method", default="AARC",
+        choices=["AARC", "BO", "MAFF", "Random", "Grid", "base"],
+        help="configuration source ('base' skips the search)",
+    )
+    serve.add_argument(
+        "--input-aware", action="store_true",
+        help="dispatch per input class via the Input-Aware Configuration Engine",
+    )
+    serve.add_argument(
+        "--arrival", default=None, choices=list(ARRIVAL_NAMES),
+        help="arrival process (default: the workload's traffic profile)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="mean arrival rate in requests/second (default: workload profile)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=300.0,
+        help="traffic horizon in simulated seconds (the run drains past it)",
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=8,
+        help="cluster size requests contend for (0 = unlimited capacity)",
+    )
+    serve.add_argument(
+        "--autoscale", action=argparse.BooleanOptionalAction, default=False,
+        help="let the warm pool track the observed arrival rate",
+    )
+    serve.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="memoize deterministic service traces (--no-cache disables)",
+    )
+    serve.add_argument(
+        "--noise", type=float, default=0.0, metavar="CV",
+        help="lognormal execution-noise coefficient of variation (0 = off)",
+    )
+    # Top-level --seed sits before the subcommand; accept it after 'serve'
+    # too (the natural place to type it) without clobbering the parent value.
+    serve.add_argument(
+        "--seed", dest="serve_seed", type=int, default=None,
+        help="experiment seed (same as the global --seed)",
+    )
 
     return parser
 
@@ -198,12 +260,32 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    seed = args.serve_seed if args.serve_seed is not None else args.seed
+    settings = ServingSettings(
+        method=args.method,
+        input_aware=args.input_aware,
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        duration_seconds=args.duration,
+        seed=seed,
+        nodes=args.nodes,
+        autoscale=args.autoscale,
+        cache=args.cache,
+        noise_cv=args.noise,
+    )
+    report = run_serving_experiment(args.workload, settings)
+    print(render_serving_report(report))
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "describe": _cmd_describe,
     "search": _cmd_search,
     "compare": _cmd_compare,
     "heatmap": _cmd_heatmap,
+    "serve": _cmd_serve,
 }
 
 

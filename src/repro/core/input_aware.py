@@ -87,6 +87,7 @@ class InputAwareEngine:
         self.rng = rng
         self._configurations: Dict[str, WorkflowConfiguration] = {}
         self._results: Dict[str, SearchResult] = {}
+        self._dispatch_counts: Dict[str, int] = {}
 
     def _validate_classes(self) -> None:
         bounds = [rule.max_scale for rule in self.classes]
@@ -164,8 +165,17 @@ class InputAwareEngine:
         if not self.prepared:
             raise RuntimeError("InputAwareEngine.prepare() must run before dispatching")
         rule = self.classify(request.input_scale)
+        self._dispatch_counts[rule.name] = self._dispatch_counts.get(rule.name, 0) + 1
         return self._configurations[rule.name]
 
     def dispatcher(self) -> Callable[[RequestArrival], WorkflowConfiguration]:
-        """A callable suitable for :class:`RequestStreamSimulator.run`."""
+        """A per-arrival callback for the request-stream and serving simulators."""
         return self.configuration_for
+
+    def dispatch_counts(self) -> Mapping[str, int]:
+        """Requests dispatched per input class since construction (or reset)."""
+        return dict(self._dispatch_counts)
+
+    def reset_dispatch_counts(self) -> None:
+        """Zero the per-class dispatch counters (between serving runs)."""
+        self._dispatch_counts.clear()

@@ -27,6 +27,14 @@ from repro.execution.events import (
     RequestOutcome,
     RequestStreamSimulator,
 )
+from repro.execution.serving import (
+    AutoscalerOptions,
+    ServedRequest,
+    ServingMetrics,
+    ServingOptions,
+    ServingResult,
+    ServingSimulator,
+)
 
 __all__ = [
     "ExecutionStatus",
@@ -51,4 +59,10 @@ __all__ = [
     "RequestArrival",
     "RequestOutcome",
     "RequestStreamSimulator",
+    "AutoscalerOptions",
+    "ServedRequest",
+    "ServingMetrics",
+    "ServingOptions",
+    "ServingResult",
+    "ServingSimulator",
 ]

@@ -74,6 +74,10 @@ class BackendStats:
     cache_hits / cache_misses:
         Memoization counters (zero unless a :class:`CachingBackend` is in the
         stack).
+    cold_starts / warm_hits / evictions:
+        Warm-container-pool counters of the underlying executor (zero when
+        the substrate simulates no cold starts and no serving layer shares
+        its pool).
     """
 
     evaluations: int = 0
@@ -81,6 +85,9 @@ class BackendStats:
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cold_starts: int = 0
+    warm_hits: int = 0
+    evictions: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -113,6 +120,11 @@ class BackendStats:
             text += (
                 f", cache {self.cache_hits} hits / {self.cache_misses} misses "
                 f"({self.cache_hit_rate * 100:.1f}% hit rate)"
+            )
+        if self.cold_starts or self.warm_hits or self.evictions:
+            text += (
+                f", pool {self.cold_starts} cold starts / {self.warm_hits} warm hits"
+                f" / {self.evictions} evictions"
             )
         return text
 
@@ -232,8 +244,13 @@ class SimulatorBackend(EvaluationBackend):
 
     @property
     def stats(self) -> BackendStats:
+        pool = self.executor.container_pool
         with self._lock:
-            return BackendStats(**vars(self._stats))
+            stats = BackendStats(**vars(self._stats))
+        stats.cold_starts = pool.cold_starts
+        stats.warm_hits = pool.warm_hits
+        stats.evictions = pool.evictions
+        return stats
 
     @property
     def deterministic(self) -> bool:
@@ -424,6 +441,9 @@ class CachingBackend(EvaluationBackend):
                 batches=inner.batches + self._batches_served,
                 cache_hits=inner.cache_hits + self._hits,
                 cache_misses=inner.cache_misses + self._misses,
+                cold_starts=inner.cold_starts,
+                warm_hits=inner.warm_hits,
+                evictions=inner.evictions,
             )
 
     @property

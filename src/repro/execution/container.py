@@ -11,7 +11,7 @@ request-stream simulator.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.workflow.resources import ResourceConfig
@@ -153,6 +153,23 @@ class ContainerPool:
             pool.sort(key=lambda c: c.last_used_at)
             del pool[:excess]
             self._stats.evictions += excess
+
+    def resize(self, max_containers_per_function: int) -> int:
+        """Change the per-function warm-pool cap (autoscaler entry point).
+
+        Shrinking immediately evicts the oldest idle containers of every
+        function down to the new cap; growing just raises the cap (new warm
+        containers appear as invocations are released).  Checked-out
+        containers are unaffected either way.  Returns the number of
+        containers evicted by the shrink.
+        """
+        if max_containers_per_function < 1:
+            raise ValueError("max_containers_per_function must be at least 1")
+        before = self._stats.evictions
+        self.max_containers_per_function = int(max_containers_per_function)
+        for function_name in list(self._containers):
+            self._enforce_capacity(function_name)
+        return self._stats.evictions - before
 
     def clear(self) -> None:
         """Drop all containers (used between independent experiments)."""

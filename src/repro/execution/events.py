@@ -2,9 +2,12 @@
 
 The input-aware experiment (paper §IV-D, Fig. 8) sends a *sequence* of
 requests with varying input sizes through the configured workflow.  The
-request-stream simulator here replays such a sequence, invoking the executor
-once per request and letting the caller choose the configuration per request
-(which is exactly what the Input-Aware Configuration Engine does).
+request-stream simulator here replays such a sequence on a discrete
+:class:`EventLoop`, invoking the evaluation backend once per request and
+letting the caller choose the configuration per request (which is exactly
+what the Input-Aware Configuration Engine does).  Each request still executes
+with unbounded capacity; the contended serving model (queueing, finite
+clusters, autoscaling) lives in :mod:`repro.execution.serving`.
 """
 
 from __future__ import annotations
@@ -14,13 +17,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.execution.backend import EvaluationBackend, SimulatorBackend
 from repro.execution.executor import WorkflowExecutor
 from repro.execution.trace import ExecutionTrace
 from repro.utils.rng import RngStream
 from repro.workflow.dag import Workflow
 from repro.workflow.resources import WorkflowConfiguration
 
-__all__ = ["EventLoop", "RequestArrival", "RequestStreamSimulator"]
+__all__ = ["EventLoop", "RequestArrival", "RequestOutcome", "RequestStreamSimulator"]
 
 
 class EventLoop:
@@ -107,17 +111,32 @@ class RequestOutcome:
 
 
 class RequestStreamSimulator:
-    """Replay a stream of requests through a workflow.
+    """Replay a stream of requests through a workflow on an event loop.
 
-    Each request is executed independently (serverless functions scale out, so
-    concurrent requests do not queue behind each other in this model); the
+    Each request is executed independently (serverless functions scale out,
+    so concurrent requests do not queue behind each other in this model); the
     value of the simulator is in selecting a possibly different configuration
-    per request and aggregating per-class statistics.
+    per request and aggregating per-class statistics.  Requests are processed
+    in arrival-time order on an :class:`EventLoop` (ties keep stream order),
+    and deterministic evaluations are routed through the
+    :class:`~repro.execution.backend.EvaluationBackend` layer at trigger time
+    0 and shifted to the arrival time — so a memoizing backend serves
+    repeated ``(configuration, input_scale)`` requests from memory.  Noisy
+    requests (an ``rng`` was given) bypass the cache by the backend's own
+    rules, and a stateful executor (``simulate_cold_starts=True``) falls back
+    to direct execution at the arrival trigger, where warm-pool history is
+    time-relevant.
     """
 
-    def __init__(self, executor: WorkflowExecutor, workflow: Workflow) -> None:
+    def __init__(
+        self,
+        executor: WorkflowExecutor,
+        workflow: Workflow,
+        backend: Optional[EvaluationBackend] = None,
+    ) -> None:
         self.executor = executor
         self.workflow = workflow
+        self.backend = backend if backend is not None else SimulatorBackend(executor)
 
     def run(
         self,
@@ -130,26 +149,50 @@ class RequestStreamSimulator:
         Parameters
         ----------
         requests:
-            The request stream (need not be sorted; outcomes preserve order).
+            The request stream (need not be sorted; outcomes preserve stream
+            order even though processing follows arrival order).
         configuration_for:
             Callback choosing the configuration for each request — a constant
             function for the fixed-configuration baselines, or the input-aware
             engine's dispatch for AARC.
         rng:
-            Optional random stream for execution noise.
+            Optional random stream for execution noise (derived per request
+            index, so outcomes do not depend on processing order).
         """
-        outcomes: List[RequestOutcome] = []
-        for index, request in enumerate(requests):
-            configuration = configuration_for(request)
-            request_rng = rng.child("request", index) if rng is not None else None
-            trace = self.executor.execute(
-                self.workflow,
-                configuration,
-                input_scale=request.input_scale,
-                rng=request_rng,
-                trigger_time=request.arrival_time,
-            )
-            outcomes.append(
-                RequestOutcome(request=request, trace=trace, configuration=configuration)
-            )
-        return outcomes
+        request_list = list(requests)
+        outcomes: List[Optional[RequestOutcome]] = [None] * len(request_list)
+        # Warm-pool state makes traces depend on absolute trigger times, so a
+        # cold-start-simulating executor cannot be served by trigger-0 traces.
+        direct = self.executor.options.simulate_cold_starts
+        loop = EventLoop()
+
+        def process(index: int, request: RequestArrival) -> Callable[[], None]:
+            def fire() -> None:
+                configuration = configuration_for(request)
+                request_rng = rng.child("request", index) if rng is not None else None
+                if direct:
+                    trace = self.executor.execute(
+                        self.workflow,
+                        configuration,
+                        input_scale=request.input_scale,
+                        rng=request_rng,
+                        trigger_time=request.arrival_time,
+                    )
+                else:
+                    trace = self.backend.evaluate(
+                        self.workflow,
+                        configuration,
+                        input_scale=request.input_scale,
+                        rng=request_rng,
+                    ).shifted(request.arrival_time)
+                outcomes[index] = RequestOutcome(
+                    request=request, trace=trace, configuration=configuration
+                )
+
+            return fire
+
+        for index, request in enumerate(request_list):
+            loop.schedule(request.arrival_time, process(index, request))
+        loop.run()
+        # Every slot is filled: one event was scheduled per request.
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -228,9 +228,17 @@ class WorkflowExecutor:
             input_scale=input_scale,
         )
 
-    def _cold_start_latency(self, profile_name: str) -> float:
+    def cold_start_latency(self, profile_name: str) -> float:
+        """Cold-start latency of a function profile (0 when unspecified).
+
+        Exposed publicly because the serving layer overlays cold starts on
+        memoized trigger-0 traces instead of paying them inside ``execute``.
+        """
         function_model = self.performance_model.function_model(profile_name)
         profile = getattr(function_model, "profile", None)
         if profile is not None:
             return float(getattr(profile, "cold_start_seconds", 0.0))
         return 0.0
+
+    # Backwards-compatible alias (pre-serving-layer name).
+    _cold_start_latency = cold_start_latency

@@ -1,0 +1,718 @@
+"""Event-driven serving layer: contended request streams over finite capacity.
+
+The paper's input-aware engine (§IV-D, Fig. 8) is evaluated on request
+*streams*, and the ROADMAP's north star is heavy traffic — so this module
+models how serverless platforms are actually exercised: concurrent requests
+contending for finite cluster capacity and a time-aware warm-container pool.
+
+The :class:`ServingSimulator` drives a request stream through a discrete
+:class:`~repro.execution.events.EventLoop`:
+
+* Each arrival asks the cluster for capacity (one container per function of
+  its configuration).  If the cluster cannot host the request it joins a FIFO
+  queue; the wait is recorded as *queueing delay*.
+* Dispatched requests obtain their pure service trace from the PR-1
+  :class:`~repro.execution.backend.EvaluationBackend` layer at trigger time 0
+  — deterministic traces are memoized; noisy runs bypass the cache — and the
+  serving layer replays that trace at the dispatch time, overlaying per
+  function cold starts from a shared, time-aware
+  :class:`~repro.execution.container.ContainerPool`.
+* On completion the capacity is released and queued requests are admitted in
+  order.
+* An optional autoscaler observes the arrival rate and resizes the warm pool
+  (Little's-law target), trading cold starts against idle containers.
+
+Everything is deterministic under a fixed seed: arrivals are generated from
+:class:`~repro.utils.rng.RngStream` children, events at equal timestamps run
+in insertion order, and per-request noise streams are derived from the
+request index.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.execution.backend import EvaluationBackend, SimulatorBackend
+from repro.execution.cluster import Cluster, Node
+from repro.execution.container import ContainerPool
+from repro.execution.events import EventLoop, RequestArrival
+from repro.execution.executor import WorkflowExecutor
+from repro.execution.trace import ExecutionStatus, ExecutionTrace
+from repro.utils.rng import RngStream
+from repro.workflow.dag import Workflow
+from repro.workflow.resources import WorkflowConfiguration
+from repro.workflow.slo import SLO
+
+__all__ = [
+    "AutoscalerOptions",
+    "ServingOptions",
+    "ServedRequest",
+    "ServingMetrics",
+    "ServingResult",
+    "ServingSimulator",
+    "percentile",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` is in percent (p99 → ``q=99``).  Returns ``nan`` on empty input.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be between 0 and 100")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class AutoscalerOptions:
+    """Reactive warm-pool sizing policy.
+
+    Every ``interval_seconds`` the autoscaler estimates the arrival rate over
+    the trailing ``window_seconds`` and retargets the per-function warm-pool
+    cap at ``ceil(rate × mean_service_time × headroom)`` (Little's law),
+    clamped to ``[min_containers, max_containers]``.  Until the first request
+    completes there is no service-time observation and the cap is left alone.
+    """
+
+    interval_seconds: float = 30.0
+    window_seconds: float = 60.0
+    headroom: float = 1.25
+    min_containers: int = 1
+    max_containers: int = 256
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0 or self.window_seconds <= 0:
+            raise ValueError("autoscaler intervals must be positive")
+        if self.headroom <= 0:
+            raise ValueError("headroom must be positive")
+        if not 1 <= self.min_containers <= self.max_containers:
+            raise ValueError("need 1 <= min_containers <= max_containers")
+
+
+@dataclass(frozen=True)
+class ServingOptions:
+    """Tunable behaviour of the serving simulator.
+
+    Attributes
+    ----------
+    simulate_cold_starts:
+        Overlay per-function cold starts from the shared warm pool.
+    queue_capacity:
+        Maximum *waiting* requests; an arrival that cannot dispatch once the
+        queue is full is rejected (``0`` models a serve-or-reject loss
+        system).  ``None`` queues without bound.
+    autoscale:
+        Enable the reactive warm-pool autoscaler.
+    autoscaler:
+        Policy knobs used when ``autoscale`` is on.
+    """
+
+    simulate_cold_starts: bool = True
+    queue_capacity: Optional[int] = None
+    autoscale: bool = False
+    autoscaler: AutoscalerOptions = field(default_factory=AutoscalerOptions)
+
+
+@dataclass
+class ServedRequest:
+    """Outcome of one request that made it through the serving layer."""
+
+    index: int
+    request: RequestArrival
+    configuration: WorkflowConfiguration
+    dispatch_time: float
+    completion_time: float
+    cost: float
+    cold_start_count: int = 0
+    cold_start_seconds: float = 0.0
+    succeeded: bool = True
+    service_trace: Optional[ExecutionTrace] = None
+
+    @property
+    def arrival_time(self) -> float:
+        """When the request entered the system."""
+        return self.request.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting for cluster capacity."""
+        return self.dispatch_time - self.request.arrival_time
+
+    @property
+    def service_seconds(self) -> float:
+        """Time from dispatch to completion (cold starts included)."""
+        return self.completion_time - self.dispatch_time
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end latency the client observes (queueing included)."""
+        return self.completion_time - self.request.arrival_time
+
+
+@dataclass
+class ServingMetrics:
+    """Tail-latency / SLO / cost summary of one serving run."""
+
+    duration_seconds: float
+    offered: int
+    completed: int
+    rejected: int
+    failed: int
+    makespan_seconds: float
+    offered_rate_rps: float
+    throughput_rps: float
+    latency_mean_seconds: float
+    latency_p50_seconds: float
+    latency_p95_seconds: float
+    latency_p99_seconds: float
+    latency_max_seconds: float
+    queueing_mean_seconds: float
+    queueing_p95_seconds: float
+    queueing_max_seconds: float
+    slo_limit_seconds: Optional[float]
+    slo_attainment: Optional[float]
+    cold_start_request_rate: float
+    cold_start_invocations: int
+    mean_cost_per_request: float
+    total_cost: float
+    cpu_utilization: Optional[float]
+    memory_utilization: Optional[float]
+    peak_concurrency: int
+    mean_concurrency: float
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run produced."""
+
+    outcomes: List[ServedRequest]
+    rejected: List[RequestArrival]
+    metrics: ServingMetrics
+    autoscaler_decisions: List[Tuple[float, int]] = field(default_factory=list)
+
+    def latencies(self) -> List[float]:
+        """Per-request end-to-end latencies in arrival order."""
+        return [o.latency_seconds for o in self.outcomes]
+
+    def mean_latency_by_class(self) -> Dict[str, float]:
+        """Average client-observed latency per input class."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            name = outcome.request.input_class
+            sums[name] = sums.get(name, 0.0) + outcome.latency_seconds
+            counts[name] = counts.get(name, 0) + 1
+        return {name: sums[name] / counts[name] for name in sums}
+
+    def mean_cost_by_class(self) -> Dict[str, float]:
+        """Average request cost per input class."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            name = outcome.request.input_class
+            sums[name] = sums.get(name, 0.0) + outcome.cost
+            counts[name] = counts.get(name, 0) + 1
+        return {name: sums[name] / counts[name] for name in sums}
+
+
+class _ClusterLedger:
+    """Per-request capacity reservations on a cluster, with utilization.
+
+    A request reserves one container per workflow function for its full
+    residence time; placement follows the affinity-aware heuristic (minimise
+    the node's CPU/memory utilisation imbalance after hosting the container).
+    Placements are keyed ``function#request`` so concurrent requests running
+    the same workflow release exactly their own capacity.  The ledger also
+    integrates reserved vCPU/memory over time for utilization reporting.
+    """
+
+    def __init__(self, cluster: Optional[Cluster]) -> None:
+        self.cluster = cluster
+        self.active = 0
+        self.peak_active = 0
+        self._last_time = 0.0
+        self._cpu_area = 0.0
+        self._mem_area = 0.0
+        self._concurrency_area = 0.0
+        self._placements: Dict[int, List[Tuple[Node, str]]] = {}
+
+    # -- time integration -------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Integrate utilization up to ``now`` (call before any change)."""
+        dt = now - self._last_time
+        if dt <= 0:
+            return
+        if self.cluster is not None:
+            self._cpu_area += sum(n.vcpu_used for n in self.cluster.nodes) * dt
+            self._mem_area += sum(n.memory_used_mb for n in self.cluster.nodes) * dt
+        self._concurrency_area += self.active * dt
+        self._last_time = now
+
+    # -- reservations -----------------------------------------------------------
+    def try_reserve(
+        self, request_id: int, configuration: WorkflowConfiguration, now: float
+    ) -> bool:
+        """Reserve capacity for one request; rolls back fully on failure."""
+        self.advance(now)
+        if self.cluster is None:
+            self.active += 1
+            self.peak_active = max(self.peak_active, self.active)
+            return True
+        placed: List[Tuple[Node, str]] = []
+        for function_name, config in configuration.items():
+            best: Optional[Node] = None
+            best_key: Optional[Tuple[float, float, str]] = None
+            for node in self.cluster.nodes:
+                if not node.can_fit(config):
+                    continue
+                projected_cpu = (node.vcpu_used + config.vcpu) / node.vcpu_capacity
+                projected_mem = (
+                    node.memory_used_mb + config.memory_mb
+                ) / node.memory_capacity_mb
+                key = (
+                    round(abs(projected_cpu - projected_mem), 9),
+                    round(projected_cpu + projected_mem, 9),
+                    node.name,
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = node
+            if best is None:
+                for node, name in placed:
+                    node.remove(name)
+                return False
+            name = f"{function_name}#{request_id}"
+            best.place(name, config)
+            placed.append((best, name))
+        self._placements[request_id] = placed
+        self.active += 1
+        self.peak_active = max(self.peak_active, self.active)
+        return True
+
+    def release(self, request_id: int, now: float) -> None:
+        """Give a finished request's capacity back."""
+        self.advance(now)
+        self.active -= 1
+        placed = self._placements.pop(request_id, None)
+        if placed is not None:
+            for node, name in placed:
+                node.remove(name)
+
+    # -- reporting --------------------------------------------------------------
+    def utilization(self) -> Tuple[Optional[float], Optional[float], float]:
+        """Time-averaged (cpu, memory, concurrency) over the observed span."""
+        span = self._last_time
+        if span <= 0:
+            return (None, None, 0.0) if self.cluster is None else (0.0, 0.0, 0.0)
+        mean_concurrency = self._concurrency_area / span
+        if self.cluster is None:
+            return None, None, mean_concurrency
+        cpu = self._cpu_area / (self.cluster.total_vcpu_capacity * span)
+        mem = self._mem_area / (self.cluster.total_memory_capacity_mb * span)
+        return cpu, mem, mean_concurrency
+
+
+class _Autoscaler:
+    """Reactive warm-pool sizing from the observed arrival rate."""
+
+    def __init__(self, pool: ContainerPool, options: AutoscalerOptions) -> None:
+        self.pool = pool
+        self.options = options
+        self.decisions: List[Tuple[float, int]] = []
+        self._arrivals: Deque[float] = deque()
+        self._service_sum = 0.0
+        self._service_count = 0
+
+    def observe_arrival(self, now: float) -> None:
+        self._arrivals.append(now)
+
+    def observe_service(self, seconds: float) -> None:
+        self._service_sum += seconds
+        self._service_count += 1
+
+    def tick(self, now: float) -> None:
+        while self._arrivals and self._arrivals[0] < now - self.options.window_seconds:
+            self._arrivals.popleft()
+        if self._service_count == 0:
+            return
+        rate = len(self._arrivals) / self.options.window_seconds
+        mean_service = self._service_sum / self._service_count
+        target = math.ceil(rate * mean_service * self.options.headroom)
+        target = max(self.options.min_containers, min(self.options.max_containers, target))
+        if target != self.pool.max_containers_per_function:
+            self.pool.resize(target)
+            self.decisions.append((now, target))
+
+
+class ServingSimulator:
+    """Serve a request stream against finite cluster and warm-pool capacity.
+
+    Parameters
+    ----------
+    workflow:
+        The DAG each request executes.
+    executor:
+        Supplies the performance model, pricing, and (by default) the shared
+        warm pool.  Must not simulate cold starts itself — the serving layer
+        overlays them so service traces stay memoizable.
+    backend:
+        Evaluation substrate for service traces; defaults to a plain
+        :class:`SimulatorBackend` over ``executor``.  Pass a
+        :class:`~repro.execution.backend.CachingBackend` stack to memoize.
+    cluster:
+        Finite capacity the requests contend for; ``None`` serves every
+        request immediately (no queueing).
+    container_pool:
+        Warm pool for the cold-start overlay; defaults to the executor's own
+        pool so backend statistics report the serving pool's counters.
+    slo:
+        End-to-end latency objective used for SLO-attainment reporting.
+    options:
+        Queueing / cold-start / autoscaling knobs.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        executor: WorkflowExecutor,
+        backend: Optional[EvaluationBackend] = None,
+        cluster: Optional[Cluster] = None,
+        container_pool: Optional[ContainerPool] = None,
+        slo: Optional[SLO] = None,
+        options: Optional[ServingOptions] = None,
+    ) -> None:
+        if executor.options.simulate_cold_starts:
+            raise ValueError(
+                "the serving layer overlays cold starts itself; build the "
+                "executor with simulate_cold_starts=False"
+            )
+        self.workflow = workflow
+        self.executor = executor
+        self.backend = backend if backend is not None else SimulatorBackend(executor)
+        self.cluster = cluster
+        self.container_pool = (
+            container_pool if container_pool is not None else executor.container_pool
+        )
+        self.slo = slo
+        self.options = options if options is not None else ServingOptions()
+        # The workflow is fixed for the simulator's lifetime: resolve the
+        # per-function cold-start latencies, topological order and adjacency
+        # once instead of on the per-request hot path.
+        self._cold_latency = {
+            spec.name: executor.cold_start_latency(spec.profile_name)
+            for spec in workflow.functions
+        }
+        self._topo_order: List[str] = list(workflow.topological_order())
+        self._predecessors: Dict[str, List[str]] = {
+            name: list(workflow.predecessors(name)) for name in self._topo_order
+        }
+        self._successors: Dict[str, List[str]] = {name: [] for name in self._topo_order}
+        for name, preds in self._predecessors.items():
+            for pred in preds:
+                self._successors[pred].append(name)
+
+    # -- service-time reconstruction ---------------------------------------------
+    def _launch(
+        self,
+        loop: EventLoop,
+        index: int,
+        request: RequestArrival,
+        configuration: WorkflowConfiguration,
+        dispatch_time: float,
+        rng: Optional[RngStream],
+        on_complete: Callable[[ServedRequest], None],
+    ) -> None:
+        """Replay one request's service trace on the event loop.
+
+        The trace comes from the backend at trigger 0 (memoizable); each
+        function is then re-enacted as events at its absolute start/finish
+        times, acquiring warm containers at the true start and releasing them
+        at the true finish — so overlapping requests can never share a
+        container, exactly as on a real platform.  ``on_complete`` fires as a
+        loop event at the request's completion time.
+        """
+        trace = self.backend.evaluate(
+            self.workflow,
+            configuration,
+            input_scale=request.input_scale,
+            rng=rng,
+        )
+        pool = self.container_pool if self.options.simulate_cold_starts else None
+        records = trace.records
+        finish: Dict[str, float] = {}
+        waiting = {
+            name: sum(1 for p in self._predecessors[name] if p in records)
+            for name in self._topo_order
+            if name in records
+        }
+        state = {
+            "remaining": len(waiting),
+            "completion": dispatch_time,
+            "cold_count": 0,
+            "cold_seconds": 0.0,
+            "extra_cost": 0.0,
+        }
+
+        def finish_function(name: str, end: float) -> None:
+            finish[name] = end
+            state["completion"] = max(state["completion"], end)
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                outcome = ServedRequest(
+                    index=index,
+                    request=request,
+                    configuration=configuration,
+                    dispatch_time=dispatch_time,
+                    completion_time=state["completion"],
+                    cost=trace.total_cost + state["extra_cost"],
+                    cold_start_count=state["cold_count"],
+                    cold_start_seconds=state["cold_seconds"],
+                    succeeded=trace.succeeded,
+                    service_trace=trace,
+                )
+                loop.schedule(state["completion"], lambda: on_complete(outcome))
+                return
+            for successor in self._successors[name]:
+                if successor not in waiting:
+                    continue
+                waiting[successor] -= 1
+                if waiting[successor] == 0:
+                    start = max(
+                        finish[p] for p in self._predecessors[successor] if p in finish
+                    )
+                    loop.schedule(start, run_function(successor, start))
+
+        def run_function(name: str, start: float) -> Callable[[], None]:
+            def fire() -> None:
+                record = records[name]
+                if record.status is ExecutionStatus.SKIPPED:
+                    finish_function(name, start)
+                    return
+                penalty = 0.0
+                container = None
+                if pool is not None:
+                    container, cold = pool.acquire(name, record.config, start)
+                    if cold:
+                        penalty = self._cold_latency[name]
+                        state["cold_count"] += 1
+                        state["cold_seconds"] += penalty
+                end = start + penalty + record.runtime_seconds
+                if container is not None:
+                    if record.status is ExecutionStatus.OOM:
+                        # The OOM kill destroys the container: never released.
+                        pass
+                    else:
+                        # Released as an event at the true finish time, so a
+                        # concurrent request cannot warm-hit a busy container.
+                        loop.schedule(
+                            end,
+                            lambda c=container, t=end: pool.release(c, t),
+                        )
+                if penalty > 0.0:
+                    # The cold start is billed like runtime on the same container.
+                    state["extra_cost"] += self.executor.pricing.invocation_cost(
+                        record.runtime_seconds + penalty, record.config
+                    ) - self.executor.pricing.invocation_cost(
+                        record.runtime_seconds, record.config
+                    )
+                finish_function(name, end)
+
+            return fire
+
+        roots = [name for name, pending in waiting.items() if pending == 0]
+        if not roots:
+            # Degenerate empty trace: complete immediately with zero work.
+            loop.schedule(
+                dispatch_time,
+                lambda: on_complete(
+                    ServedRequest(
+                        index=index,
+                        request=request,
+                        configuration=configuration,
+                        dispatch_time=dispatch_time,
+                        completion_time=dispatch_time,
+                        cost=trace.total_cost,
+                        succeeded=trace.succeeded,
+                        service_trace=trace,
+                    )
+                ),
+            )
+            return
+        for name in roots:
+            loop.schedule(dispatch_time, run_function(name, dispatch_time))
+
+    # -- the event-driven run ------------------------------------------------------
+    def run(
+        self,
+        requests: Iterable[RequestArrival],
+        configuration_for: Callable[[RequestArrival], WorkflowConfiguration],
+        rng: Optional[RngStream] = None,
+        duration_seconds: Optional[float] = None,
+    ) -> ServingResult:
+        """Serve the whole stream and return outcomes plus metrics.
+
+        Parameters
+        ----------
+        requests:
+            The request stream; arrivals are processed in time order (equal
+            timestamps keep stream order).
+        configuration_for:
+            Per-arrival configuration callback — constant for fixed
+            configurations, or the input-aware engine's dispatcher.
+        rng:
+            Optional noise stream; children are derived per request index so
+            results do not depend on dispatch interleaving.
+        duration_seconds:
+            Nominal traffic duration used for the offered-rate metric;
+            defaults to the last arrival time.  The run itself always drains:
+            queued work completes past the horizon.
+        """
+        request_list = list(requests)
+        loop = EventLoop()
+        ledger = _ClusterLedger(self.cluster)
+        queue: Deque[Tuple[int, RequestArrival, WorkflowConfiguration]] = deque()
+        outcomes: List[ServedRequest] = []
+        rejected: List[RequestArrival] = []
+        autoscaler = (
+            _Autoscaler(self.container_pool, self.options.autoscaler)
+            if self.options.autoscale
+            else None
+        )
+        pending_arrivals = len(request_list)
+
+        def finish_request(outcome: ServedRequest) -> None:
+            ledger.release(outcome.index, loop.now)
+            outcomes.append(outcome)
+            if autoscaler is not None:
+                autoscaler.observe_service(outcome.service_seconds)
+            try_dispatch()
+
+        def try_dispatch() -> None:
+            # Strict FIFO admission: stop at the first request that does not
+            # fit so later (possibly smaller) requests cannot starve it.
+            while queue:
+                index, request, configuration = queue[0]
+                if not ledger.try_reserve(index, configuration, loop.now):
+                    if ledger.active == 0:
+                        # Fits on no node even with the cluster empty: it can
+                        # never be served, so drop it instead of deadlocking
+                        # the queue.
+                        queue.popleft()
+                        rejected.append(request)
+                        continue
+                    break
+                queue.popleft()
+                request_rng = rng.child("request", index) if rng is not None else None
+                self._launch(
+                    loop, index, request, configuration, loop.now, request_rng,
+                    finish_request,
+                )
+
+        def arrive(index: int, request: RequestArrival) -> Callable[[], None]:
+            def fire() -> None:
+                nonlocal pending_arrivals
+                pending_arrivals -= 1
+                if autoscaler is not None:
+                    autoscaler.observe_arrival(loop.now)
+                queue.append((index, request, configuration_for(request)))
+                try_dispatch()
+                # The capacity bounds *waiting* requests: an arrival that
+                # dispatched immediately never counts against it (so
+                # queue_capacity=0 models a serve-or-reject loss system).
+                if (
+                    self.options.queue_capacity is not None
+                    and len(queue) > self.options.queue_capacity
+                ):
+                    _, dropped, _ = queue.pop()
+                    rejected.append(dropped)
+
+            return fire
+
+        for index, request in enumerate(request_list):
+            loop.schedule(request.arrival_time, arrive(index, request))
+
+        if autoscaler is not None:
+
+            def autoscale_tick() -> None:
+                autoscaler.tick(loop.now)
+                # Keep ticking only while there is (or will be) work; the
+                # loop must drain once the last request completes.
+                if pending_arrivals > 0 or queue or ledger.active > 0:
+                    loop.schedule_after(self.options.autoscaler.interval_seconds, autoscale_tick)
+
+            loop.schedule_after(self.options.autoscaler.interval_seconds, autoscale_tick)
+
+        loop.run()
+        ledger.advance(loop.now)
+        outcomes.sort(key=lambda o: o.index)
+        if duration_seconds is None:
+            duration_seconds = max((r.arrival_time for r in request_list), default=0.0)
+        metrics = self._summarize(
+            outcomes, rejected, ledger, duration_seconds, len(request_list)
+        )
+        return ServingResult(
+            outcomes=outcomes,
+            rejected=rejected,
+            metrics=metrics,
+            autoscaler_decisions=autoscaler.decisions if autoscaler is not None else [],
+        )
+
+    # -- metrics ---------------------------------------------------------------
+    def _summarize(
+        self,
+        outcomes: Sequence[ServedRequest],
+        rejected: Sequence[RequestArrival],
+        ledger: _ClusterLedger,
+        duration_seconds: float,
+        offered: int,
+    ) -> ServingMetrics:
+        latencies = [o.latency_seconds for o in outcomes]
+        queueing = [o.queueing_delay for o in outcomes]
+        costs = [o.cost for o in outcomes]
+        completed = len(outcomes)
+        makespan = max((o.completion_time for o in outcomes), default=0.0)
+        slo_limit = self.slo.latency_limit if self.slo is not None else None
+        attainment: Optional[float] = None
+        if slo_limit is not None and completed:
+            attainment = sum(1 for l in latencies if l <= slo_limit) / completed
+        cpu_util, mem_util, mean_concurrency = ledger.utilization()
+        return ServingMetrics(
+            duration_seconds=duration_seconds,
+            offered=offered,
+            completed=completed,
+            rejected=len(rejected),
+            failed=sum(1 for o in outcomes if not o.succeeded),
+            makespan_seconds=makespan,
+            offered_rate_rps=offered / duration_seconds if duration_seconds > 0 else 0.0,
+            throughput_rps=completed / makespan if makespan > 0 else 0.0,
+            latency_mean_seconds=sum(latencies) / completed if completed else float("nan"),
+            latency_p50_seconds=percentile(latencies, 50),
+            latency_p95_seconds=percentile(latencies, 95),
+            latency_p99_seconds=percentile(latencies, 99),
+            latency_max_seconds=max(latencies) if latencies else float("nan"),
+            queueing_mean_seconds=sum(queueing) / completed if completed else float("nan"),
+            queueing_p95_seconds=percentile(queueing, 95),
+            queueing_max_seconds=max(queueing) if queueing else float("nan"),
+            slo_limit_seconds=slo_limit,
+            slo_attainment=attainment,
+            cold_start_request_rate=(
+                sum(1 for o in outcomes if o.cold_start_count > 0) / completed
+                if completed
+                else 0.0
+            ),
+            cold_start_invocations=sum(o.cold_start_count for o in outcomes),
+            mean_cost_per_request=sum(costs) / completed if completed else float("nan"),
+            total_cost=sum(costs),
+            cpu_utilization=cpu_util,
+            memory_utilization=mem_util,
+            peak_concurrency=ledger.peak_active,
+            mean_concurrency=mean_concurrency,
+        )

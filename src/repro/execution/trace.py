@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -115,6 +116,27 @@ class ExecutionTrace:
     def cold_start_count(self) -> int:
         """Number of invocations that paid a cold start."""
         return sum(1 for r in self.records.values() if r.cold_start)
+
+    def shifted(self, offset: float) -> "ExecutionTrace":
+        """A copy with every timestamp moved by ``offset`` seconds.
+
+        The simulator computes all start/finish times relative to the trigger,
+        so shifting a trigger-0 trace by an arrival time is exactly the trace
+        the same execution would have produced at that arrival — which lets
+        serving layers memoize trigger-0 traces and replay them at any time.
+        """
+        if offset == 0.0:
+            return self
+        shifted = ExecutionTrace(workflow_name=self.workflow_name, input_scale=self.input_scale)
+        for record in self.records.values():
+            shifted.add(
+                dataclasses.replace(
+                    record,
+                    start_time=record.start_time + offset,
+                    finish_time=record.finish_time + offset,
+                )
+            )
+        return shifted
 
     # -- views ---------------------------------------------------------------
     def runtimes(self) -> Dict[str, float]:

@@ -10,6 +10,8 @@ Each module corresponds to one part of §II (motivation) or §IV (evaluation):
   cost of the discovered optimal configurations over repeated executions).
 * :mod:`repro.experiments.input_aware_experiment` — Fig. 8 (input-aware
   configuration of the Video Analysis workflow).
+* :mod:`repro.experiments.serving_experiment` — tail-latency / SLO study of a
+  configured workflow under a traffic model (the event-driven serving layer).
 * :mod:`repro.experiments.reporting` — text rendering of the above.
 """
 
@@ -37,10 +39,17 @@ from repro.experiments.input_aware_experiment import (
     InputAwareComparison,
     run_input_aware_experiment,
 )
+from repro.experiments.serving_experiment import (
+    ServingReport,
+    ServingSettings,
+    run_serving_experiment,
+)
 from repro.experiments.reporting import (
+    render_backend_stats,
     render_heatmap,
     render_input_aware,
     render_search_totals,
+    render_serving_report,
     render_table2,
     render_trajectories,
 )
@@ -60,9 +69,14 @@ __all__ = [
     "bo_search_study",
     "InputAwareComparison",
     "run_input_aware_experiment",
+    "ServingReport",
+    "ServingSettings",
+    "run_serving_experiment",
     "render_heatmap",
     "render_search_totals",
     "render_trajectories",
     "render_table2",
     "render_input_aware",
+    "render_backend_stats",
+    "render_serving_report",
 ]

@@ -15,6 +15,7 @@ from repro.experiments.input_aware_experiment import InputAwareComparison
 from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
 from repro.experiments.optimal_experiment import OptimalConfigurationStats
 from repro.experiments.search_experiment import SearchComparison
+from repro.experiments.serving_experiment import ServingReport
 from repro.utils.tables import Table, format_series
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "render_table2",
     "render_input_aware",
     "render_backend_stats",
+    "render_serving_report",
 ]
 
 
@@ -129,17 +131,22 @@ def render_backend_stats(results: Mapping[str, SearchResult]) -> str:
 
     Reports cache hit rates alongside the sample counts so cached and
     uncached runs can be compared at a glance; results whose objective ran
-    without a caching backend show zero lookups.
+    without a caching backend show zero lookups.  Warm-container-pool
+    counters (cold starts, warm hits, evictions) appear in the same table so
+    serving runs expose both layers of reuse at once.
     """
     table = Table(
-        ["run", "samples", "simulations", "cache_hits", "cache_misses", "hit_rate"],
+        [
+            "run", "samples", "simulations", "cache_hits", "cache_misses", "hit_rate",
+            "cold_starts", "warm_hits", "evictions",
+        ],
         precision=2,
         title="evaluation backend statistics",
     )
     for label, result in results.items():
         stats = result.backend_stats
         if stats is None:
-            table.add_row(label, result.sample_count, "-", "-", "-", "-")
+            table.add_row(label, result.sample_count, "-", "-", "-", "-", "-", "-", "-")
             continue
         table.add_row(
             label,
@@ -148,8 +155,76 @@ def render_backend_stats(results: Mapping[str, SearchResult]) -> str:
             stats.cache_hits,
             stats.cache_misses,
             f"{stats.cache_hit_rate * 100:.1f}%",
+            stats.cold_starts,
+            stats.warm_hits,
+            stats.evictions,
         )
     return table.render()
+
+
+def render_serving_report(report: ServingReport) -> str:
+    """Render one serving experiment (throughput, tail latency, SLO, cost)."""
+    metrics = report.metrics
+    flavour = "input-aware" if report.input_aware else "fixed configuration"
+    lines = [
+        f"serving study — {report.workload} via {report.method} ({flavour})",
+        f"  traffic:             {report.traffic_description} "
+        f"for {metrics.duration_seconds:g}s (seed {report.settings.seed})",
+        f"  requests:            {metrics.offered} offered, {metrics.completed} completed, "
+        f"{metrics.rejected} rejected, {metrics.failed} failed",
+        f"  throughput:          {metrics.throughput_rps:.4f} req/s "
+        f"(offered {metrics.offered_rate_rps:.4f} req/s, makespan {metrics.makespan_seconds:.1f}s)",
+        f"  latency p50/p95/p99: {metrics.latency_p50_seconds:.2f} / "
+        f"{metrics.latency_p95_seconds:.2f} / {metrics.latency_p99_seconds:.2f} s "
+        f"(mean {metrics.latency_mean_seconds:.2f}, max {metrics.latency_max_seconds:.2f})",
+        f"  queueing delay:      mean {metrics.queueing_mean_seconds:.2f}s, "
+        f"p95 {metrics.queueing_p95_seconds:.2f}s, max {metrics.queueing_max_seconds:.2f}s",
+    ]
+    if metrics.slo_limit_seconds is not None and metrics.slo_attainment is not None:
+        lines.append(
+            f"  SLO attainment:      {metrics.slo_attainment * 100:.1f}% within "
+            f"{metrics.slo_limit_seconds:g}s"
+        )
+    lines.append(
+        f"  cold-start rate:     {metrics.cold_start_request_rate * 100:.1f}% of requests "
+        f"({metrics.cold_start_invocations} invocations)"
+    )
+    lines.append(
+        f"  cost per request:    {metrics.mean_cost_per_request:.2f} "
+        f"(total {metrics.total_cost:.1f})"
+    )
+    if metrics.cpu_utilization is not None and metrics.memory_utilization is not None:
+        lines.append(
+            f"  cluster utilization: cpu {metrics.cpu_utilization * 100:.1f}%, "
+            f"memory {metrics.memory_utilization * 100:.1f}% "
+            f"(peak concurrency {metrics.peak_concurrency}, "
+            f"mean {metrics.mean_concurrency:.2f})"
+        )
+    else:
+        lines.append(
+            f"  concurrency:         peak {metrics.peak_concurrency}, "
+            f"mean {metrics.mean_concurrency:.2f} (no cluster limit)"
+        )
+    for name, latency in sorted(report.uncontended_latency_seconds.items()):
+        count = report.class_counts.get(name, 0)
+        line = (
+            f"  class {name:<8s}      {count} requests, "
+            f"uncontended latency {latency:.2f}s"
+        )
+        if report.dispatch_counts:
+            line += f" ({report.dispatch_counts.get(name, 0)} dispatched input-aware)"
+        lines.append(line)
+    if report.autoscaler_decisions:
+        steps = ", ".join(
+            f"t={t:.0f}s→{cap}" for t, cap in report.autoscaler_decisions[:8]
+        )
+        suffix = ", ..." if len(report.autoscaler_decisions) > 8 else ""
+        lines.append(f"  autoscaler:          {steps}{suffix}")
+    if report.search_samples:
+        lines.append(f"  search samples:      {report.search_samples}")
+    lines.append(f"  backend:             {report.backend_stats.describe()}")
+    lines.append(f"                       [{report.backend_description}]")
+    return "\n".join(lines)
 
 
 def render_table2(stats: Iterable[OptimalConfigurationStats]) -> str:

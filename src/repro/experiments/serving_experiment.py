@@ -1,0 +1,259 @@
+"""Serving experiment: drive a configured workflow through a traffic model.
+
+Where the search experiments answer "which configuration is cheapest under
+the SLO?", the serving experiment answers the operational question behind the
+ROADMAP's north star: *does that configuration hold its SLO under load?*  A
+workload's workflow is configured by any search method (or its base
+configuration, or the input-aware engine's per-class configurations), then a
+request stream from a pluggable arrival process is served by the
+event-driven :class:`~repro.execution.serving.ServingSimulator` against a
+finite cluster and warm-container pool.  The report carries throughput,
+p50/p95/p99 latency, SLO attainment, queueing delay, cold-start rate, cost
+per request and cluster utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.input_aware import InputAwareEngine
+from repro.execution.backend import BackendStats, build_backend
+from repro.execution.cluster import Cluster
+from repro.execution.events import RequestArrival
+from repro.execution.serving import (
+    AutoscalerOptions,
+    ServingMetrics,
+    ServingOptions,
+    ServingResult,
+    ServingSimulator,
+)
+from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
+from repro.utils.rng import RngStream
+from repro.workflow.resources import WorkflowConfiguration
+from repro.workloads.inputs import input_class_rules
+from repro.workloads.registry import get_workload
+
+__all__ = ["ServingSettings", "ServingReport", "run_serving_experiment"]
+
+
+@dataclass(frozen=True)
+class ServingSettings:
+    """Knobs of one serving run.
+
+    Attributes
+    ----------
+    method:
+        Configuration source: a search method name (``"AARC"``, ``"BO"``,
+        ``"MAFF"``, ``"Random"``, ``"Grid"``) or ``"base"`` for the
+        workload's over-provisioned base configuration.
+    input_aware:
+        Use the Input-Aware Configuration Engine (one configuration per
+        input class, searched by ``method``) instead of one fixed
+        configuration.  Requires the workload to define input classes.
+    arrival / rate_rps:
+        Traffic overrides; ``None`` keeps the workload's default profile.
+    duration_seconds:
+        Traffic generation horizon (the run itself drains past it).
+    seed:
+        Root seed for traffic, class mixing and (optional) execution noise.
+    nodes / vcpu_per_node / memory_per_node_mb:
+        Cluster capacity requests contend for; ``nodes=0`` removes the
+        capacity limit entirely (no queueing).
+    keep_alive_seconds / max_containers_per_function:
+        Warm-pool behaviour.
+    autoscale / autoscaler:
+        Reactive warm-pool sizing from the observed arrival rate.
+    cache:
+        Memoize deterministic service traces through the PR-1 caching
+        backend (noisy runs bypass it automatically).
+    noise_cv:
+        Coefficient of variation for lognormal execution noise; 0 keeps the
+        run fully deterministic.
+    queue_capacity:
+        Optional bound on the admission queue (arrivals beyond it are
+        rejected).
+    slo_scale:
+        Stretch (>1) or tighten (<1) the workload SLO for attainment
+        reporting.
+    """
+
+    method: str = "AARC"
+    input_aware: bool = False
+    arrival: Optional[str] = None
+    rate_rps: Optional[float] = None
+    duration_seconds: float = 300.0
+    seed: int = 2025
+    nodes: int = 8
+    vcpu_per_node: float = 16.0
+    memory_per_node_mb: float = 65536.0
+    keep_alive_seconds: float = 600.0
+    max_containers_per_function: int = 16
+    autoscale: bool = False
+    autoscaler: AutoscalerOptions = field(default_factory=AutoscalerOptions)
+    cache: bool = True
+    noise_cv: float = 0.0
+    queue_capacity: Optional[int] = None
+    slo_scale: float = 1.0
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving experiment produced, ready for rendering."""
+
+    workload: str
+    method: str
+    input_aware: bool
+    traffic_description: str
+    settings: ServingSettings
+    metrics: ServingMetrics
+    backend_stats: BackendStats
+    backend_description: str
+    search_samples: int
+    uncontended_latency_seconds: Dict[str, float]
+    class_counts: Dict[str, int]
+    dispatch_counts: Dict[str, int] = field(default_factory=dict)
+    autoscaler_decisions: List[Tuple[float, int]] = field(default_factory=list)
+    result: Optional[ServingResult] = None
+
+
+def _prepare_dispatcher(workload, settings: ServingSettings):
+    """Build the per-arrival configuration callback and count search samples."""
+    search_settings = ExperimentSettings(seed=settings.seed)
+    if settings.method.strip().lower() == "base":
+        configuration = workload.base_configuration()
+
+        def fixed(_request) -> WorkflowConfiguration:
+            return configuration
+
+        return fixed, 0, None
+    searcher = make_searcher(settings.method, workload, search_settings)
+    if settings.input_aware:
+        if not workload.input_classes:
+            raise ValueError(
+                f"workload {workload.name!r} defines no input classes; "
+                "input-aware serving needs them"
+            )
+        engine = InputAwareEngine(
+            searcher=searcher,
+            executor=workload.build_executor(),
+            workflow=workload.workflow,
+            slo=workload.slo,
+            classes=input_class_rules(workload.input_classes),
+        )
+        results = engine.prepare()
+        samples = sum(result.sample_count for result in results.values())
+        return engine.dispatcher(), samples, engine
+    objective = build_objective(workload, search_settings)
+    result = searcher.search(objective)
+    configuration = (
+        result.best_configuration
+        if result.found_feasible
+        else workload.base_configuration()
+    )
+
+    def fixed(_request) -> WorkflowConfiguration:
+        return configuration
+
+    return fixed, result.sample_count, None
+
+
+def run_serving_experiment(
+    workload_name: str = "video-analysis",
+    settings: Optional[ServingSettings] = None,
+) -> ServingReport:
+    """Run one serving experiment end to end and return its report."""
+    settings = settings if settings is not None else ServingSettings()
+    workload = get_workload(workload_name)
+
+    dispatcher, search_samples, engine = _prepare_dispatcher(workload, settings)
+
+    noise = None
+    serve_rng = None
+    if settings.noise_cv > 0:
+        from repro.perfmodel.noise import LognormalNoise
+
+        noise = LognormalNoise(settings.noise_cv)
+        serve_rng = RngStream(settings.seed, f"serve/{workload.name}")
+    executor = workload.build_executor(noise=noise)
+    executor.container_pool.keep_alive_seconds = float(settings.keep_alive_seconds)
+    executor.container_pool.max_containers_per_function = int(
+        settings.max_containers_per_function
+    )
+    backend = build_backend(executor, cache=settings.cache)
+
+    cluster = (
+        Cluster.homogeneous(
+            settings.nodes,
+            vcpu_per_node=settings.vcpu_per_node,
+            memory_per_node_mb=settings.memory_per_node_mb,
+        )
+        if settings.nodes > 0
+        else None
+    )
+    slo = workload.slo.scaled(settings.slo_scale) if settings.slo_scale != 1.0 else workload.slo
+
+    traffic = workload.traffic_model(arrival=settings.arrival, rate_rps=settings.rate_rps)
+    requests = traffic.generate(
+        settings.duration_seconds, RngStream(settings.seed, f"traffic/{workload.name}")
+    )
+
+    simulator = ServingSimulator(
+        workflow=workload.workflow,
+        executor=executor,
+        backend=backend,
+        cluster=cluster,
+        slo=slo,
+        options=ServingOptions(
+            queue_capacity=settings.queue_capacity,
+            autoscale=settings.autoscale,
+            autoscaler=settings.autoscaler,
+        ),
+    )
+    result = simulator.run(
+        requests, dispatcher, rng=serve_rng, duration_seconds=settings.duration_seconds
+    )
+    # Snapshot before the probes below also exercise the dispatcher.
+    dispatch_counts = dict(engine.dispatch_counts()) if engine is not None else {}
+
+    # Uncontended single-request latency per class: the baseline the tail is
+    # compared against (queueing shows up as p99 exceeding these).
+    uncontended: Dict[str, float] = {}
+    probe_executor = workload.build_executor()
+    for input_class in traffic.classes:
+        uncontended[input_class.name] = simulator_probe_latency(
+            workload, dispatcher, input_class, probe_executor
+        )
+
+    class_counts: Dict[str, int] = {}
+    for request in requests:
+        class_counts[request.input_class] = class_counts.get(request.input_class, 0) + 1
+
+    return ServingReport(
+        workload=workload.name,
+        method=settings.method,
+        input_aware=settings.input_aware,
+        traffic_description=traffic.describe(),
+        settings=settings,
+        metrics=result.metrics,
+        backend_stats=backend.stats,
+        backend_description=backend.describe(),
+        search_samples=search_samples,
+        uncontended_latency_seconds=uncontended,
+        class_counts=class_counts,
+        dispatch_counts=dispatch_counts,
+        autoscaler_decisions=result.autoscaler_decisions,
+        result=result,
+    )
+
+
+def simulator_probe_latency(workload, dispatcher, input_class, executor) -> float:
+    """Latency of one isolated, noise-free request of ``input_class``."""
+    request = RequestArrival(
+        arrival_time=0.0, input_scale=input_class.scale, input_class=input_class.name
+    )
+    configuration = dispatcher(request)
+    trace = executor.execute(
+        workload.workflow, configuration, input_scale=input_class.scale
+    )
+    return trace.end_to_end_latency

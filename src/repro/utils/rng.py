@@ -94,6 +94,12 @@ class RngStream:
         """Draw one log-normal sample."""
         return float(self._generator.lognormal(mean, sigma))
 
+    def exponential(self, scale: float = 1.0) -> float:
+        """Draw one exponential sample with the given mean (``scale``)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return float(self._generator.exponential(scale))
+
     def integers(self, low: int, high: int) -> int:
         """Draw one integer uniformly from ``[low, high)``."""
         return int(self._generator.integers(low, high))

@@ -8,6 +8,18 @@ over-provisioned base configuration, and (for the input-sensitive Video
 Analysis) the input-size classes.
 """
 
+from repro.workloads.arrivals import (
+    ARRIVAL_NAMES,
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    TrafficModel,
+    TrafficProfile,
+    build_arrival_process,
+)
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.chatbot import chatbot_workload
 from repro.workloads.ml_pipeline import ml_pipeline_workload
@@ -25,4 +37,14 @@ __all__ = [
     "request_sequence",
     "get_workload",
     "list_workloads",
+    "ARRIVAL_NAMES",
+    "ArrivalProcess",
+    "ConstantRateArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "TraceArrivals",
+    "TrafficModel",
+    "TrafficProfile",
+    "build_arrival_process",
 ]

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.execution.backend import EvaluationBackend, build_backend
 from repro.execution.executor import ExecutorOptions, WorkflowExecutor
 from repro.perfmodel.analytic import FunctionProfile
+from repro.workloads.arrivals import TrafficModel, TrafficProfile
+from repro.workloads.inputs import InputClass
 from repro.perfmodel.noise import NoiseModel
 from repro.perfmodel.registry import PerformanceModelRegistry
 from repro.pricing.model import PAPER_PRICING, PricingModel
@@ -42,6 +44,12 @@ class WorkloadSpec:
         ``"scatter"`` or ``"broadcast"`` as characterised in the paper.
     default_input_scale:
         Input scale representing the paper's standard input.
+    input_classes:
+        Input-size classes of an input-sensitive workload (``None`` means a
+        single standard class).
+    traffic:
+        Default traffic profile for serving experiments (arrival process,
+        rate, class mix); the `serve` CLI overrides it per run.
     """
 
     name: str
@@ -53,6 +61,8 @@ class WorkloadSpec:
     communication_pattern: str = "scatter"
     default_input_scale: float = 1.0
     pricing: PricingModel = field(default_factory=lambda: PAPER_PRICING)
+    input_classes: Optional[List[InputClass]] = None
+    traffic: TrafficProfile = field(default_factory=TrafficProfile)
 
     def __post_init__(self) -> None:
         profile_names = {profile.name for profile in self.profiles}
@@ -123,6 +133,23 @@ class WorkloadSpec:
             rng=rng,
             max_samples=max_samples,
             backend=backend,
+        )
+
+    def traffic_model(
+        self,
+        arrival: Optional[str] = None,
+        rate_rps: Optional[float] = None,
+        profile: Optional[TrafficProfile] = None,
+    ) -> TrafficModel:
+        """Build the traffic model for a serving run.
+
+        Starts from this workload's default :class:`TrafficProfile` (or an
+        explicit ``profile``) and applies the per-run overrides.
+        """
+        base = profile if profile is not None else self.traffic
+        return TrafficModel.from_profile(
+            base.override(arrival=arrival, rate_rps=rate_rps),
+            classes=self.input_classes,
         )
 
     def base_configuration(self) -> WorkflowConfiguration:

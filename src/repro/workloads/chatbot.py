@@ -17,6 +17,7 @@ from repro.perfmodel.profiles import io_bound_profile
 from repro.workflow.dag import FunctionSpec, Workflow
 from repro.workflow.resources import ResourceConfig
 from repro.workflow.slo import SLO
+from repro.workloads.arrivals import TrafficProfile
 from repro.workloads.base import WorkloadSpec
 
 __all__ = ["chatbot_workload", "CHATBOT_SLO_SECONDS"]
@@ -119,4 +120,6 @@ def chatbot_workload() -> WorkloadSpec:
         ),
         communication_pattern="scatter",
         default_input_scale=1.0,
+        # Interactive traffic: day/night cycle around a few requests/second.
+        traffic=TrafficProfile(arrival="diurnal", rate_rps=2.0, amplitude=0.6),
     )

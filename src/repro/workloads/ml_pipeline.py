@@ -17,6 +17,7 @@ from repro.perfmodel.profiles import io_bound_profile
 from repro.workflow.dag import FunctionSpec, Workflow
 from repro.workflow.resources import ResourceConfig
 from repro.workflow.slo import SLO
+from repro.workloads.arrivals import TrafficProfile
 from repro.workloads.base import WorkloadSpec
 
 __all__ = ["ml_pipeline_workload", "ML_PIPELINE_SLO_SECONDS"]
@@ -92,4 +93,6 @@ def ml_pipeline_workload() -> WorkloadSpec:
         ),
         communication_pattern="broadcast",
         default_input_scale=1.0,
+        # Batch retraining jobs: long calm stretches with bursts of submissions.
+        traffic=TrafficProfile(arrival="bursty", rate_rps=0.2, burst_multiplier=6.0),
     )

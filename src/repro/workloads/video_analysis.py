@@ -16,7 +16,9 @@ from repro.perfmodel.profiles import io_bound_profile
 from repro.workflow.dag import FunctionSpec, Workflow
 from repro.workflow.resources import ResourceConfig
 from repro.workflow.slo import SLO
+from repro.workloads.arrivals import TrafficProfile
 from repro.workloads.base import WorkloadSpec
+from repro.workloads.inputs import VIDEO_INPUT_CLASSES
 
 __all__ = ["video_analysis_workload", "VIDEO_ANALYSIS_SLO_SECONDS"]
 
@@ -113,4 +115,12 @@ def video_analysis_workload() -> WorkloadSpec:
         ),
         communication_pattern="scatter",
         default_input_scale=1.0,
+        # Upload-driven traffic mixing the Fig. 8 input classes; most videos
+        # are short, a tail is heavy.
+        input_classes=list(VIDEO_INPUT_CLASSES),
+        traffic=TrafficProfile(
+            arrival="poisson",
+            rate_rps=0.05,
+            class_weights={"light": 0.5, "middle": 0.3, "heavy": 0.2},
+        ),
     )

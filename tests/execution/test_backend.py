@@ -15,7 +15,7 @@ from repro.execution.executor import ExecutorOptions, WorkflowExecutor
 from repro.perfmodel.noise import LognormalNoise
 from repro.perfmodel.registry import PerformanceModelRegistry
 from repro.utils.rng import RngStream
-from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workflow.resources import ResourceConfig
 
 
 @pytest.fixture

@@ -1,0 +1,153 @@
+"""Property-based tests for the EventLoop and ContainerPool invariants.
+
+These back the serving layer: the event loop's ordering guarantees are what
+make serving runs bit-reproducible, and the warm pool's capacity/keep-alive
+invariants are what make its cold-start accounting trustworthy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.execution.container import ContainerPool
+from repro.execution.events import EventLoop
+from repro.workflow.resources import ResourceConfig
+
+# ---------------------------------------------------------------------------
+# EventLoop
+# ---------------------------------------------------------------------------
+
+timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(timestamps, min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_events_run_in_timestamp_order_with_stable_ties(times):
+    loop = EventLoop()
+    fired = []
+    for insertion_index, timestamp in enumerate(times):
+        loop.schedule(timestamp, lambda t=timestamp, i=insertion_index: fired.append((t, i)))
+    processed = loop.run()
+    assert processed == len(times)
+    # Sorted by timestamp; equal timestamps preserve insertion order — which
+    # is exactly Python's stable sort of (timestamp, insertion_index).
+    assert fired == sorted(fired)
+    assert loop.now == max(times)
+
+
+@given(st.lists(timestamps, min_size=1, max_size=50), timestamps)
+@settings(max_examples=100)
+def test_run_until_never_crosses_the_horizon(times, horizon):
+    loop = EventLoop()
+    fired = []
+    for timestamp in times:
+        loop.schedule(timestamp, lambda t=timestamp: fired.append(t))
+    loop.run(until=horizon)
+    assert all(t <= horizon for t in fired)
+    assert sorted(fired) == sorted(t for t in times if t <= horizon)
+    # Events beyond the horizon stay queued, and time advances to the horizon.
+    assert len(loop) == sum(1 for t in times if t > horizon)
+    assert loop.now >= min(horizon, min(times))
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0, allow_nan=False), min_size=1, max_size=20)
+)
+@settings(max_examples=100)
+def test_reentrant_schedule_after_chains(delays):
+    """A callback scheduling the next event must always be safe (re-entrancy)."""
+    loop = EventLoop()
+    fired = []
+
+    def chain(remaining):
+        def fire():
+            fired.append(loop.now)
+            if remaining:
+                loop.schedule_after(remaining[0], chain(remaining[1:]))
+
+        return fire
+
+    loop.schedule_after(delays[0], chain(delays[1:]))
+    processed = loop.run()
+    assert processed == len(delays)
+    assert fired == sorted(fired)
+    assert loop.now == sum(delays)
+
+
+# ---------------------------------------------------------------------------
+# ContainerPool
+# ---------------------------------------------------------------------------
+
+configs = st.sampled_from(
+    [
+        ResourceConfig(vcpu=1.0, memory_mb=512.0),
+        ResourceConfig(vcpu=2.0, memory_mb=1024.0),
+        ResourceConfig(vcpu=4.0, memory_mb=2048.0),
+    ]
+)
+
+
+@st.composite
+def pool_scripts(draw):
+    """Interleaved acquire/hold/release schedules at non-decreasing times."""
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    t = 0.0
+    script = []
+    for _ in range(n_ops):
+        t += draw(st.floats(min_value=0.0, max_value=300.0, allow_nan=False))
+        hold = draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+        release = draw(st.booleans())
+        script.append((t, draw(configs), hold, release))
+    return script
+
+
+@given(
+    pool_scripts(),
+    st.floats(min_value=1.0, max_value=600.0, allow_nan=False),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=100)
+def test_pool_invariants_under_interleaved_acquire_release(script, keep_alive, cap):
+    pool = ContainerPool(keep_alive_seconds=keep_alive, max_containers_per_function=cap)
+    checked_out = set()
+    acquires = 0
+    for timestamp, config, hold, release in script:
+        container, cold = pool.acquire("f", config, timestamp)
+        acquires += 1
+        # A checked-out container is never handed to a second caller.
+        assert container.container_id not in checked_out
+        # A warm hit always matches the requested configuration and is warm.
+        if not cold:
+            assert container.config == config
+            assert container.is_warm_at(timestamp, keep_alive)
+        if release:
+            pool.release(container, timestamp + hold)
+        else:
+            checked_out.add(container.container_id)
+        # The idle pool never exceeds its cap.
+        assert pool.warm_count("f", timestamp) <= cap
+    # Counter bookkeeping: every acquire was either cold or a warm hit.
+    assert pool.cold_starts + pool.warm_hits == acquires
+
+
+@given(pool_scripts(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=50)
+def test_resize_trims_idle_containers_to_the_new_cap(script, new_cap):
+    pool = ContainerPool(keep_alive_seconds=1e9, max_containers_per_function=16)
+    last_time = 0.0
+    for timestamp, config, hold, _ in script:
+        container, _cold = pool.acquire("f", config, timestamp)
+        pool.release(container, timestamp + hold)
+        last_time = max(last_time, timestamp + hold)
+    before = pool.evictions
+    evicted = pool.resize(new_cap)
+    assert pool.max_containers_per_function == new_cap
+    assert pool.warm_count("f", last_time) <= new_cap
+    assert pool.evictions == before + evicted
+
+
+def test_resize_rejects_zero():
+    pool = ContainerPool()
+    try:
+        pool.resize(0)
+    except ValueError:
+        return
+    raise AssertionError("resize(0) should be rejected")

@@ -46,6 +46,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "chatbot", "--workers", "0"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workload == "video-analysis"
+        assert args.method == "AARC"
+        assert args.arrival is None
+        assert args.rate is None
+        assert args.duration == 300.0
+        assert args.cache is True
+        assert args.autoscale is False
+        assert args.serve_seed is None
+
+    def test_serve_accepts_seed_after_subcommand(self):
+        args = build_parser().parse_args(
+            ["serve", "--workload", "chatbot", "--arrival", "poisson",
+             "--rate", "50", "--duration", "300", "--seed", "2025"]
+        )
+        assert args.serve_seed == 2025
+        assert args.rate == 50.0
+
+    def test_serve_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "tidal"])
+
 
 class TestCommands:
     def test_workloads_lists_benchmarks(self, capsys):
@@ -96,3 +119,34 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["describe", "not-a-workload"])
+
+    def test_serve_prints_headline_metrics(self, capsys):
+        assert main(
+            ["serve", "--workload", "chatbot", "--method", "base",
+             "--arrival", "constant", "--rate", "0.5", "--duration", "40",
+             "--nodes", "2", "--seed", "7"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "serving study — chatbot" in output
+        assert "latency p50/p95/p99" in output
+        assert "SLO attainment" in output
+        assert "cold-start rate" in output
+        assert "cost per request" in output
+
+    def test_serve_is_bit_identical_under_a_seed(self, capsys):
+        argv = ["serve", "--workload", "chatbot", "--method", "base",
+                "--arrival", "poisson", "--rate", "1", "--duration", "30",
+                "--nodes", "2", "--seed", "2025"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_serve_accepts_workload_alias(self, capsys):
+        assert main(
+            ["serve", "--workload", "video_analysis", "--method", "base",
+             "--arrival", "constant", "--rate", "0.02", "--duration", "100",
+             "--seed", "3"]
+        ) == 0
+        assert "video-analysis" in capsys.readouterr().out

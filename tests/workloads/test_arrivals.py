@@ -1,0 +1,186 @@
+"""Tests for the arrival processes and traffic models."""
+
+import json
+
+import pytest
+
+from repro.utils.rng import RngStream
+from repro.workloads.arrivals import (
+    ARRIVAL_NAMES,
+    BurstyArrivals,
+    ConstantRateArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    TrafficModel,
+    TrafficProfile,
+    build_arrival_process,
+    load_trace_times,
+)
+from repro.workloads.inputs import VIDEO_INPUT_CLASSES
+from repro.workloads.registry import get_workload
+
+
+class TestConstantRate:
+    def test_evenly_spaced_within_horizon(self):
+        times = ConstantRateArrivals(2.0).arrival_times(5.0)
+        assert times == [i * 0.5 for i in range(10)]
+        assert all(t < 5.0 for t in times)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            ConstantRateArrivals(0.0)
+
+
+class TestPoisson:
+    def test_rate_is_roughly_honoured(self):
+        times = PoissonArrivals(10.0).arrival_times(1000.0, RngStream(1, "t"))
+        assert 8000 < len(times) < 12000
+        assert all(0 <= t < 1000.0 for t in times)
+        assert times == sorted(times)
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).arrival_times(10.0)
+
+    def test_deterministic_under_seed(self):
+        a = PoissonArrivals(5.0).arrival_times(100.0, RngStream(7, "t"))
+        b = PoissonArrivals(5.0).arrival_times(100.0, RngStream(7, "t"))
+        assert a == b
+
+
+class TestBursty:
+    def test_bursts_raise_the_rate(self):
+        calm_only = BurstyArrivals(1.0, burst_multiplier=1.0).arrival_times(
+            2000.0, RngStream(3, "t")
+        )
+        bursting = BurstyArrivals(1.0, burst_multiplier=8.0).arrival_times(
+            2000.0, RngStream(3, "t")
+        )
+        assert len(bursting) > len(calm_only)
+        assert all(0 <= t < 2000.0 for t in bursting)
+        assert bursting == sorted(bursting)
+
+    def test_rejects_sub_unity_multiplier(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(1.0, burst_multiplier=0.5)
+
+
+class TestDiurnal:
+    def test_mean_rate_is_roughly_honoured(self):
+        process = DiurnalArrivals(2.0, amplitude=0.8, period_seconds=1000.0)
+        times = process.arrival_times(5000.0, RngStream(5, "t"))
+        # Five full periods: the sinusoid averages out to the mean rate.
+        assert 8000 < len(times) < 12000
+
+    def test_peak_trough_asymmetry(self):
+        process = DiurnalArrivals(1.0, amplitude=0.9, period_seconds=4000.0)
+        times = process.arrival_times(4000.0, RngStream(9, "t"))
+        rising = [t for t in times if t < 2000.0]  # sin > 0 half-period
+        falling = [t for t in times if t >= 2000.0]
+        assert len(rising) > len(falling)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, amplitude=1.0)
+
+
+class TestTraceReplay:
+    def test_clips_to_duration(self):
+        process = TraceArrivals([0.0, 1.0, 2.5, 9.0])
+        assert process.arrival_times(3.0) == [0.0, 1.0, 2.5]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, 0.5])
+
+    def test_load_trace_times(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([0.5, 1.5, 2.0]))
+        assert load_trace_times(str(path)) == [0.5, 1.5, 2.0]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ValueError):
+            load_trace_times(str(bad))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", [n for n in ARRIVAL_NAMES if n != "trace"])
+    def test_builds_every_named_process(self, name):
+        process = build_arrival_process(TrafficProfile(arrival=name, rate_rps=1.0))
+        assert process.name == name
+
+    def test_trace_needs_times(self):
+        with pytest.raises(ValueError):
+            build_arrival_process(TrafficProfile(arrival="trace"))
+        process = build_arrival_process(
+            TrafficProfile(arrival="trace", trace_times=[0.0, 1.0])
+        )
+        assert process.name == "trace"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_arrival_process(TrafficProfile(arrival="tidal"))
+
+
+class TestTrafficModel:
+    def test_single_class_needs_no_rng_for_classes(self):
+        model = TrafficModel(ConstantRateArrivals(1.0))
+        requests = model.generate(10.0)
+        assert len(requests) == 10
+        assert all(r.input_class == "default" for r in requests)
+
+    def test_class_mix_follows_weights(self):
+        model = TrafficModel(
+            ConstantRateArrivals(10.0),
+            classes=VIDEO_INPUT_CLASSES,
+            weights={"light": 0.8, "middle": 0.2, "heavy": 0.0},
+        )
+        requests = model.generate(500.0, RngStream(13, "t"))
+        counts = {}
+        for request in requests:
+            counts[request.input_class] = counts.get(request.input_class, 0) + 1
+        assert counts.get("heavy", 0) == 0
+        assert counts["light"] > counts["middle"]
+
+    def test_mixing_without_rng_rejected(self):
+        model = TrafficModel(ConstantRateArrivals(1.0), classes=VIDEO_INPUT_CLASSES)
+        with pytest.raises(ValueError):
+            model.generate(10.0)
+
+    def test_generation_is_deterministic(self):
+        model = TrafficModel(PoissonArrivals(2.0), classes=VIDEO_INPUT_CLASSES)
+        a = model.generate(200.0, RngStream(2025, "traffic"))
+        b = model.generate(200.0, RngStream(2025, "traffic"))
+        assert [(r.arrival_time, r.input_class) for r in a] == [
+            (r.arrival_time, r.input_class) for r in b
+        ]
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficModel(
+                ConstantRateArrivals(1.0),
+                classes=VIDEO_INPUT_CLASSES,
+                weights={"light": 0.0},
+            )
+
+
+class TestWorkloadDefaults:
+    def test_every_workload_has_a_traffic_profile(self):
+        for name in ("chatbot", "ml-pipeline", "video-analysis"):
+            workload = get_workload(name)
+            model = workload.traffic_model()
+            requests = model.generate(50.0, RngStream(1, "t"))
+            assert all(r.arrival_time < 50.0 for r in requests)
+
+    def test_video_mixes_input_classes(self):
+        workload = get_workload("video-analysis")
+        model = workload.traffic_model(arrival="constant", rate_rps=5.0)
+        requests = model.generate(200.0, RngStream(4, "t"))
+        assert {r.input_class for r in requests} == {"light", "middle", "heavy"}
+
+    def test_overrides_change_process_and_rate(self):
+        workload = get_workload("chatbot")
+        model = workload.traffic_model(arrival="constant", rate_rps=3.0)
+        assert model.process.name == "constant"
+        assert len(model.generate(10.0)) == 30
