@@ -29,6 +29,12 @@ def test_fig2_decoupling_heatmap(benchmark, workload):
     assert len(heatmap.runtime_seconds) == len(heatmap.vcpu_values) * len(
         heatmap.memory_values_mb
     )
+    # The sweep is served by the vectorized engine by default; the scalar
+    # simulator must produce the bit-identical panel.
+    scalar = decoupling_heatmap(workload, backend="simulator")
+    assert scalar.runtime_seconds == heatmap.runtime_seconds
+    assert scalar.cost == heatmap.cost
+    assert scalar.feasible == heatmap.feasible
     cheapest_vcpu, cheapest_memory = heatmap.cheapest_point()
 
     if workload == "chatbot":

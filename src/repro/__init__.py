@@ -38,6 +38,7 @@ from repro.execution import (
     ExecutorOptions,
     ParallelBackend,
     SimulatorBackend,
+    VectorizedBackend,
     WorkflowExecutor,
     build_backend,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "SimulatorBackend",
     "CachingBackend",
     "ParallelBackend",
+    "VectorizedBackend",
     "BackendStats",
     "build_backend",
     "BayesianOptimizer",

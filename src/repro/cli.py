@@ -71,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--backend", default="simulator", choices=list(BACKEND_NAMES),
-            help="evaluation substrate serving the search's samples",
+            help="evaluation substrate serving the search's samples "
+                 "('vectorized' serves whole batches from NumPy kernels)",
         )
         sub.add_argument(
             "--cache", action=argparse.BooleanOptionalAction, default=False,
@@ -104,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     heatmap = subparsers.add_parser("heatmap", help="decoupled (vCPU, memory) sweep (Fig. 2)")
     heatmap.add_argument("workload")
+    heatmap.add_argument(
+        "--backend", default="vectorized", choices=list(BACKEND_NAMES),
+        help="evaluation substrate serving the sweep (all are bit-identical)",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="serve a traffic stream through the event-driven serving layer"
@@ -256,7 +261,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_heatmap(args: argparse.Namespace) -> int:
-    print(render_heatmap(decoupling_heatmap(args.workload)))
+    print(render_heatmap(decoupling_heatmap(args.workload, backend=args.backend)))
     return 0
 
 

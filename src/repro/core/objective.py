@@ -91,10 +91,25 @@ class Sample:
 
 
 class SearchHistory:
-    """Append-only record of all samples taken during a search."""
+    """Append-only record of all samples taken during a search.
+
+    Every aggregate the paper's figures need (running totals, per-sample
+    series, best-feasible-so-far trajectory) is maintained *incrementally* on
+    :meth:`record`: reporting code that re-reads a series after every sample
+    stays O(n) overall instead of the O(n²) a rebuild-per-call implementation
+    costs.  Accessors return copies, so callers can't corrupt the caches.
+    """
 
     def __init__(self) -> None:
         self._samples: List[Sample] = []
+        self._runtime_series: List[float] = []
+        self._cost_series: List[float] = []
+        self._best_feasible_cost_series: List[float] = []
+        self._total_runtime_seconds = 0.0
+        self._total_cost = 0.0
+        self._feasible_count = 0
+        self._best_feasible: Optional[Sample] = None
+        self._fluctuation_sum = 0.0  # sum of |cost[i+1] - cost[i]|
 
     def record(self, result: EvaluationResult, phase: str = "search") -> Sample:
         """Append one evaluation as a sample and return it."""
@@ -106,7 +121,19 @@ class SearchHistory:
             feasible=result.feasible,
             phase=phase,
         )
+        if self._cost_series:
+            self._fluctuation_sum += abs(sample.cost - self._cost_series[-1])
         self._samples.append(sample)
+        self._runtime_series.append(sample.runtime_seconds)
+        self._cost_series.append(sample.cost)
+        self._total_runtime_seconds += sample.runtime_seconds
+        self._total_cost += sample.cost
+        if sample.feasible:
+            self._feasible_count += 1
+            if self._best_feasible is None or sample.cost < self._best_feasible.cost:
+                self._best_feasible = sample
+        best = self._best_feasible.cost if self._best_feasible is not None else float("inf")
+        self._best_feasible_cost_series.append(best)
         return sample
 
     # -- access ---------------------------------------------------------------
@@ -130,43 +157,34 @@ class SearchHistory:
     @property
     def total_runtime_seconds(self) -> float:
         """Total wall-clock time spent executing samples (Fig. 5a)."""
-        return sum(s.runtime_seconds for s in self._samples)
+        return self._total_runtime_seconds
 
     @property
     def total_cost(self) -> float:
         """Total monetary cost of executing samples (Fig. 5b)."""
-        return sum(s.cost for s in self._samples)
+        return self._total_cost
 
     def runtime_series(self) -> List[float]:
         """Per-sample end-to-end runtime (Fig. 6 trajectories)."""
-        return [s.runtime_seconds for s in self._samples]
+        return list(self._runtime_series)
 
     def cost_series(self) -> List[float]:
         """Per-sample cost (Fig. 7 trajectories)."""
-        return [s.cost for s in self._samples]
+        return list(self._cost_series)
 
     def best_feasible_cost_series(self) -> List[float]:
         """Best feasible cost seen up to each sample (inf until one exists)."""
-        best = float("inf")
-        series: List[float] = []
-        for sample in self._samples:
-            if sample.feasible and sample.cost < best:
-                best = sample.cost
-            series.append(best)
-        return series
+        return list(self._best_feasible_cost_series)
 
     def best_feasible(self) -> Optional[Sample]:
-        """The cheapest feasible sample, if any."""
-        feasible = [s for s in self._samples if s.feasible]
-        if not feasible:
-            return None
-        return min(feasible, key=lambda s: (s.cost, s.index))
+        """The cheapest feasible sample, if any (earliest wins cost ties)."""
+        return self._best_feasible
 
     def feasible_fraction(self) -> float:
         """Fraction of samples that were feasible."""
         if not self._samples:
             return 0.0
-        return sum(1 for s in self._samples if s.feasible) / len(self._samples)
+        return self._feasible_count / len(self._samples)
 
     def cost_fluctuation_amplitude(self) -> float:
         """Mean absolute difference between consecutive sample costs.
@@ -176,9 +194,7 @@ class SearchHistory:
         """
         if len(self._samples) < 2:
             return 0.0
-        costs = self.cost_series()
-        diffs = [abs(costs[i + 1] - costs[i]) for i in range(len(costs) - 1)]
-        return sum(diffs) / len(diffs)
+        return self._fluctuation_sum / (len(self._samples) - 1)
 
 
 @dataclass

@@ -21,6 +21,11 @@ from repro.execution.backend import (
     SimulatorBackend,
     build_backend,
 )
+from repro.execution.vectorized import (
+    BatchOutcome,
+    VectorizedBackend,
+    VectorizedWorkflowEngine,
+)
 from repro.execution.events import (
     EventLoop,
     RequestArrival,
@@ -48,6 +53,9 @@ __all__ = [
     "SimulatorBackend",
     "CachingBackend",
     "ParallelBackend",
+    "BatchOutcome",
+    "VectorizedBackend",
+    "VectorizedWorkflowEngine",
     "build_backend",
     "Cluster",
     "Node",

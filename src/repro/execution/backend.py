@@ -14,6 +14,9 @@ is where the *execution substrate* is chosen and composed:
   always bypass the cache.
 * :class:`ParallelBackend` — a decorator fanning :meth:`evaluate_batch` out
   over a thread pool, preserving submission order.
+* :class:`~repro.execution.vectorized.VectorizedBackend` — a substrate
+  serving whole batches from NumPy array kernels, bit-identical to the
+  simulator (defined in :mod:`repro.execution.vectorized`).
 
 Backends compose: ``CachingBackend(ParallelBackend(SimulatorBackend(...)))``
 serves repeated configurations from memory and simulates fresh ones in
@@ -52,7 +55,7 @@ __all__ = [
 ]
 
 #: Substrate names understood by :func:`build_backend` (and the CLI).
-BACKEND_NAMES: Tuple[str, ...] = ("simulator", "parallel")
+BACKEND_NAMES: Tuple[str, ...] = ("simulator", "parallel", "vectorized")
 
 #: Thread-pool width used when the parallel substrate is selected without an
 #: explicit worker count.
@@ -68,7 +71,12 @@ class BackendStats:
     evaluations:
         Traces returned to callers (cache hits included).
     simulations:
-        Evaluations that actually ran the underlying substrate.
+        Evaluations that actually ran the underlying substrate one
+        configuration at a time.
+    vectorized:
+        Evaluations served by the array engine of a
+        :class:`~repro.execution.vectorized.VectorizedBackend` (zero on
+        scalar substrates).
     batches:
         ``evaluate_batch`` calls served.
     cache_hits / cache_misses:
@@ -82,6 +90,7 @@ class BackendStats:
 
     evaluations: int = 0
     simulations: int = 0
+    vectorized: int = 0
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -116,6 +125,8 @@ class BackendStats:
             f"{self.evaluations} evaluations "
             f"({self.simulations} simulated, {self.batches} batches)"
         )
+        if self.vectorized:
+            text += f", {self.vectorized} vectorized"
         if self.cache_hits or self.cache_misses:
             text += (
                 f", cache {self.cache_hits} hits / {self.cache_misses} misses "
@@ -299,7 +310,18 @@ class CachingBackend(EvaluationBackend):
     def _key(
         workflow: Workflow, configuration: WorkflowConfiguration, input_scale: float
     ) -> Hashable:
-        return (workflow.name, configuration, float(input_scale))
+        # Canonicalised to plain-float tuples so configurations assembled from
+        # NumPy array batches (np.float64 allocations) and hand-built scalar
+        # configurations hash to the same entry: vectorized and scalar paths
+        # share the cache.
+        return (
+            workflow.name,
+            tuple(
+                (name, float(config.vcpu), float(config.memory_mb))
+                for name, config in sorted(configuration.items())
+            ),
+            float(input_scale),
+        )
 
     def _lookup(self, key: Hashable) -> Optional[ExecutionTrace]:
         with self._lock:
@@ -438,6 +460,7 @@ class CachingBackend(EvaluationBackend):
             return BackendStats(
                 evaluations=inner.evaluations + self._hits,
                 simulations=inner.simulations,
+                vectorized=inner.vectorized,
                 batches=inner.batches + self._batches_served,
                 cache_hits=inner.cache_hits + self._hits,
                 cache_misses=inner.cache_misses + self._misses,
@@ -582,7 +605,9 @@ def build_backend(
     executor:
         The execution simulator at the bottom of the stack.
     name:
-        ``"simulator"`` (sequential) or ``"parallel"`` (batch fan-out).
+        ``"simulator"`` (sequential), ``"parallel"`` (batch fan-out over a
+        thread pool) or ``"vectorized"`` (whole batches in one NumPy pass,
+        bit-identical to the simulator).
     cache:
         Wrap the stack in a :class:`CachingBackend` (outermost, so hits never
         touch the thread pool).
@@ -591,7 +616,9 @@ def build_backend(
         imply the parallel substrate even when ``name`` is ``"simulator"``,
         and an explicit ``workers=1`` on a ``"parallel"`` backend degenerates
         to sequential delegation.  When omitted, the parallel substrate uses
-        :data:`DEFAULT_PARALLEL_WORKERS`.
+        :data:`DEFAULT_PARALLEL_WORKERS`.  The vectorized substrate serves a
+        batch in one single-threaded array pass, so ``workers`` is ignored
+        there.
     cache_entries:
         Optional LRU capacity for the cache.
     """
@@ -602,11 +629,18 @@ def build_backend(
         )
     if workers is not None and workers < 1:
         raise ValueError("workers must be at least 1")
-    if workers is None:
-        workers = DEFAULT_PARALLEL_WORKERS if key == "parallel" else 1
-    backend: EvaluationBackend = SimulatorBackend(executor)
-    if key == "parallel" or workers > 1:
-        backend = ParallelBackend(backend, max_workers=workers)
+    backend: EvaluationBackend
+    if key == "vectorized":
+        # Imported here: the vectorized module depends on this one.
+        from repro.execution.vectorized import VectorizedBackend
+
+        backend = VectorizedBackend(executor)
+    else:
+        if workers is None:
+            workers = DEFAULT_PARALLEL_WORKERS if key == "parallel" else 1
+        backend = SimulatorBackend(executor)
+        if key == "parallel" or workers > 1:
+            backend = ParallelBackend(backend, max_workers=workers)
     if cache:
         backend = CachingBackend(backend, max_entries=cache_entries)
     return backend

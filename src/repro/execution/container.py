@@ -10,6 +10,7 @@ request-stream simulator.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -53,6 +54,19 @@ class _PoolStats:
 class ContainerPool:
     """Warm-container pool keyed by (function, configuration).
 
+    Idle containers are indexed three ways: an insertion-ordered
+    id → container map per function (pool membership), a per-function
+    min-heap of ``(expiry time, container id)`` entries, and per-function
+    buckets keyed by exact configuration.  Expiry is processed lazily from
+    the heap — O(log n) per *actually expired* container instead of a
+    full-pool rescan per event — and the warm-match lookup in
+    :meth:`acquire` only scans the bucket of the requested configuration, so
+    autoscaled pools holding many differently-configured containers (e.g.
+    input-aware serving) no longer pay a whole-pool scan per request.  Heap
+    entries are never removed eagerly; a stale entry (container re-released
+    later, checked out, discarded or capacity-evicted) is skipped when
+    popped.
+
     Parameters
     ----------
     keep_alive_seconds:
@@ -73,9 +87,32 @@ class ContainerPool:
             raise ValueError("max_containers_per_function must be at least 1")
         self.keep_alive_seconds = float(keep_alive_seconds)
         self.max_containers_per_function = int(max_containers_per_function)
-        self._containers: Dict[str, List[Container]] = {}
+        self._containers: Dict[str, Dict[int, Container]] = {}
+        self._by_config: Dict[str, Dict[ResourceConfig, Dict[int, Container]]] = {}
+        self._expiry_heaps: Dict[str, List[Tuple[float, int]]] = {}
         self._id_counter = itertools.count(1)
         self._stats = _PoolStats()
+
+    # -- index maintenance -----------------------------------------------------
+    def _insert(self, container: Container) -> None:
+        function_name = container.function_name
+        self._containers.setdefault(function_name, {})[container.container_id] = container
+        self._by_config.setdefault(function_name, {}).setdefault(
+            container.config, {}
+        )[container.container_id] = container
+
+    def _remove(self, container: Container) -> None:
+        function_name = container.function_name
+        pool = self._containers.get(function_name)
+        if pool is not None:
+            pool.pop(container.container_id, None)
+        buckets = self._by_config.get(function_name)
+        if buckets is not None:
+            bucket = buckets.get(container.config)
+            if bucket is not None:
+                bucket.pop(container.container_id, None)
+                if not bucket:
+                    del buckets[container.config]
 
     # -- acquisition -----------------------------------------------------------
     def acquire(
@@ -85,19 +122,21 @@ class ContainerPool:
 
         Returns ``(container, cold_start)``.  A warm container is reused only
         when its configuration matches exactly (platforms recycle containers
-        per configuration revision).  The container is *checked out*: it
-        leaves the pool until :meth:`release` returns it, so concurrent
-        invocations can never share one container.
+        per configuration revision); the most recently used match wins.  The
+        container is *checked out*: it leaves the pool until :meth:`release`
+        returns it, so concurrent invocations can never share one container.
         """
         self._evict_expired(function_name, timestamp)
-        pool = self._containers.setdefault(function_name, [])
-        for container in sorted(pool, key=lambda c: -c.last_used_at):
-            if container.config == config and container.is_warm_at(
-                timestamp, self.keep_alive_seconds
-            ):
-                pool.remove(container)
-                self._stats.warm_hits += 1
-                return container, False
+        bucket = self._by_config.get(function_name, {}).get(config, {})
+        best: Optional[Container] = None
+        for container in bucket.values():
+            if container.is_warm_at(timestamp, self.keep_alive_seconds):
+                if best is None or container.last_used_at > best.last_used_at:
+                    best = container
+        if best is not None:
+            self._remove(best)
+            self._stats.warm_hits += 1
+            return best, False
         container = Container(
             container_id=next(self._id_counter),
             function_name=function_name,
@@ -117,9 +156,12 @@ class ContainerPool:
         its previous invocation.
         """
         container.record_invocation(max(finish_time, container.last_used_at))
-        pool = self._containers.setdefault(container.function_name, [])
-        if container not in pool:
-            pool.append(container)
+        if container.container_id not in self._containers.get(container.function_name, {}):
+            self._insert(container)
+        heapq.heappush(
+            self._expiry_heaps.setdefault(container.function_name, []),
+            (container.last_used_at + self.keep_alive_seconds, container.container_id),
+        )
         self._enforce_capacity(container.function_name)
 
     def discard(self, container: Container) -> None:
@@ -131,27 +173,49 @@ class ContainerPool:
         Discarding a checked-out or already-evicted container is a no-op.
         """
         pool = self._containers.get(container.function_name)
-        if pool is None:
+        if pool is None or container.container_id not in pool:
             return
-        try:
-            pool.remove(container)
-        except ValueError:
-            return
+        self._remove(container)
         self._stats.evictions += 1
 
     # -- maintenance -----------------------------------------------------------
     def _evict_expired(self, function_name: str, timestamp: float) -> None:
-        pool = self._containers.get(function_name, [])
-        kept = [c for c in pool if c.is_warm_at(timestamp, self.keep_alive_seconds)]
-        self._stats.evictions += len(pool) - len(kept)
-        self._containers[function_name] = kept
+        """Pop expired heap entries; skip stale ones, re-queue still-warm ones.
+
+        An entry can be stale in two ways: its container left the pool
+        (checked out, discarded, capacity-evicted), or it was re-released
+        later so a fresher entry with a later expiry also sits in the heap.
+        Warmth is always re-checked against the container itself, so this
+        evicts exactly the containers a full scan would.
+        """
+        heap = self._expiry_heaps.get(function_name)
+        if not heap:
+            return
+        pool = self._containers.get(function_name, {})
+        still_warm: List[Tuple[float, int]] = []
+        while heap and heap[0][0] <= timestamp:
+            _, container_id = heapq.heappop(heap)
+            container = pool.get(container_id)
+            if container is None:
+                continue  # stale entry: container no longer pool-resident
+            if container.is_warm_at(timestamp, self.keep_alive_seconds):
+                # Boundary / stale-but-refreshed entry: keep the container.
+                still_warm.append(
+                    (container.last_used_at + self.keep_alive_seconds, container_id)
+                )
+                continue
+            self._remove(container)
+            self._stats.evictions += 1
+        for entry in still_warm:
+            heapq.heappush(heap, entry)
 
     def _enforce_capacity(self, function_name: str) -> None:
-        pool = self._containers.get(function_name, [])
+        pool = self._containers.get(function_name, {})
         excess = len(pool) - self.max_containers_per_function
         if excess > 0:
-            pool.sort(key=lambda c: c.last_used_at)
-            del pool[:excess]
+            oldest = sorted(pool.values(), key=lambda c: c.last_used_at)[:excess]
+            for container in oldest:
+                self._remove(container)
             self._stats.evictions += excess
 
     def resize(self, max_containers_per_function: int) -> int:
@@ -174,13 +238,15 @@ class ContainerPool:
     def clear(self) -> None:
         """Drop all containers (used between independent experiments)."""
         self._containers.clear()
+        self._by_config.clear()
+        self._expiry_heaps.clear()
 
     # -- inspection -----------------------------------------------------------
     def warm_count(self, function_name: str, timestamp: float) -> int:
         """Number of warm containers for a function at a point in time."""
         return sum(
             1
-            for c in self._containers.get(function_name, [])
+            for c in self._containers.get(function_name, {}).values()
             if c.is_warm_at(timestamp, self.keep_alive_seconds)
         )
 

@@ -61,7 +61,9 @@ class ExperimentSettings:
         on a real, noisy platform); deterministic by default for reproducible
         unit results.
     backend:
-        Evaluation substrate name (``"simulator"`` or ``"parallel"``).
+        Evaluation substrate name (``"simulator"``, ``"parallel"`` or
+        ``"vectorized"`` — the latter serves whole evaluation batches from
+        NumPy array kernels, bit-identical to the simulator).
     cache:
         Memoize deterministic evaluations behind a
         :class:`~repro.execution.backend.CachingBackend`.  Noisy searches

@@ -91,12 +91,18 @@ def decoupling_heatmap(
     vcpu_values: Optional[Sequence[float]] = None,
     memory_values_mb: Optional[Sequence[float]] = None,
     input_scale: Optional[float] = None,
+    backend: str = "vectorized",
 ) -> DecouplingHeatmap:
     """Sweep a uniform decoupled grid over one workload (one Fig. 2 panel).
 
     Default grids follow the paper's panels: small workflows sweep 0.5–4
     vCPUs and 512–2 048 MB, the Video Analysis panel sweeps 4–8 vCPUs and
     5 120–8 192 MB.
+
+    The whole grid is submitted as one ``evaluate_batch`` to the chosen
+    backend (the vectorized array engine by default, which serves the sweep
+    in a single NumPy pass); every substrate produces bit-identical
+    heat-map values, so the figure does not depend on the choice.
     """
     workload = get_workload(workload_name)
     if vcpu_values is None or memory_values_mb is None:
@@ -107,28 +113,33 @@ def decoupling_heatmap(
             vcpu_values = vcpu_values or [0.5, 1.0, 2.0, 3.0, 4.0]
             memory_values_mb = memory_values_mb or [512.0, 1024.0, 1536.0, 2048.0]
 
-    executor = workload.build_executor()
+    evaluation_backend = workload.build_backend(backend=backend)
     heatmap = DecouplingHeatmap(
         workload=workload.name,
         vcpu_values=list(vcpu_values),
         memory_values_mb=list(memory_values_mb),
     )
     scale = input_scale if input_scale is not None else workload.default_input_scale
-    for vcpu in vcpu_values:
-        for memory in memory_values_mb:
-            configuration = WorkflowConfiguration.uniform(
-                workload.workflow.function_names,
-                ResourceConfig(vcpu=vcpu, memory_mb=memory),
-            )
-            trace = executor.execute(workload.workflow, configuration, input_scale=scale)
-            runtime = trace.end_to_end_latency
-            heatmap.add_point(
-                vcpu,
-                memory,
-                runtime=runtime,
-                cost=trace.total_cost,
-                feasible=trace.succeeded and workload.slo.is_met(runtime),
-            )
+    points = [(vcpu, memory) for vcpu in vcpu_values for memory in memory_values_mb]
+    configurations = [
+        WorkflowConfiguration.uniform(
+            workload.workflow.function_names,
+            ResourceConfig(vcpu=vcpu, memory_mb=memory),
+        )
+        for vcpu, memory in points
+    ]
+    traces = evaluation_backend.evaluate_batch(
+        workload.workflow, configurations, input_scale=scale
+    )
+    for (vcpu, memory), trace in zip(points, traces):
+        runtime = trace.end_to_end_latency
+        heatmap.add_point(
+            vcpu,
+            memory,
+            runtime=runtime,
+            cost=trace.total_cost,
+            feasible=trace.succeeded and workload.slo.is_met(runtime),
+        )
     return heatmap
 
 

@@ -137,8 +137,8 @@ def render_backend_stats(results: Mapping[str, SearchResult]) -> str:
     """
     table = Table(
         [
-            "run", "samples", "simulations", "cache_hits", "cache_misses", "hit_rate",
-            "cold_starts", "warm_hits", "evictions",
+            "run", "samples", "simulations", "vectorized", "cache_hits", "cache_misses",
+            "hit_rate", "cold_starts", "warm_hits", "evictions",
         ],
         precision=2,
         title="evaluation backend statistics",
@@ -146,12 +146,13 @@ def render_backend_stats(results: Mapping[str, SearchResult]) -> str:
     for label, result in results.items():
         stats = result.backend_stats
         if stats is None:
-            table.add_row(label, result.sample_count, "-", "-", "-", "-", "-", "-", "-")
+            table.add_row(label, result.sample_count, "-", "-", "-", "-", "-", "-", "-", "-")
             continue
         table.add_row(
             label,
             result.sample_count,
             stats.simulations,
+            stats.vectorized,
             stats.cache_hits,
             stats.cache_misses,
             f"{stats.cache_hit_rate * 100:.1f}%",

@@ -24,6 +24,12 @@ from repro.perfmodel.profiles import (
     balanced_profile,
 )
 from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.perfmodel.vectorized import (
+    BatchEstimate,
+    VectorizedFunctionKernel,
+    batch_estimates,
+    vectorize_function_model,
+)
 from repro.perfmodel.calibration import CalibrationSample, fit_profile
 
 __all__ = [
@@ -38,6 +44,10 @@ __all__ = [
     "GaussianNoise",
     "LognormalNoise",
     "PerformanceModelRegistry",
+    "BatchEstimate",
+    "VectorizedFunctionKernel",
+    "batch_estimates",
+    "vectorize_function_model",
     "cpu_bound_profile",
     "io_bound_profile",
     "memory_bound_profile",

@@ -256,3 +256,60 @@ class TestSearchHistory:
     def test_phases_recorded(self, diamond_objective, diamond_base_configuration):
         diamond_objective.evaluate(diamond_base_configuration, phase="profiling")
         assert diamond_objective.history.samples[0].phase == "profiling"
+
+
+class TestIncrementalHistoryCaches:
+    """The aggregates SearchHistory maintains on record() must match a naive
+    rebuild over the samples — reporting reads them after every sample."""
+
+    def _naive_best_series(self, history):
+        best, series = float("inf"), []
+        for sample in history.samples:
+            if sample.feasible and sample.cost < best:
+                best = sample.cost
+            series.append(best)
+        return series
+
+    def _record_mixed_samples(self, objective, base):
+        # Feasible, infeasible (OOM) and progressively cheaper samples.
+        starved = base.updated("left", ResourceConfig(vcpu=4, memory_mb=128))
+        lean = base.updated("right", ResourceConfig(vcpu=1.0, memory_mb=512.0))
+        for configuration in (base, starved, lean, base, starved):
+            objective.evaluate(configuration)
+
+    def test_best_feasible_series_matches_naive_rebuild(self, diamond_objective,
+                                                        diamond_base_configuration):
+        self._record_mixed_samples(diamond_objective, diamond_base_configuration)
+        history = diamond_objective.history
+        assert history.best_feasible_cost_series() == self._naive_best_series(history)
+
+    def test_aggregates_match_naive_rebuild(self, diamond_objective,
+                                            diamond_base_configuration):
+        self._record_mixed_samples(diamond_objective, diamond_base_configuration)
+        history = diamond_objective.history
+        samples = history.samples
+        assert history.total_runtime_seconds == sum(s.runtime_seconds for s in samples)
+        assert history.total_cost == sum(s.cost for s in samples)
+        assert history.feasible_fraction() == (
+            sum(1 for s in samples if s.feasible) / len(samples)
+        )
+        costs = history.cost_series()
+        diffs = [abs(costs[i + 1] - costs[i]) for i in range(len(costs) - 1)]
+        assert history.cost_fluctuation_amplitude() == sum(diffs) / len(diffs)
+
+    def test_best_feasible_keeps_earliest_on_cost_tie(self, diamond_objective,
+                                                      diamond_base_configuration):
+        diamond_objective.evaluate(diamond_base_configuration)
+        diamond_objective.evaluate(diamond_base_configuration)
+        best = diamond_objective.history.best_feasible()
+        assert best is not None and best.index == 0
+
+    def test_series_accessors_return_copies(self, diamond_objective,
+                                            diamond_base_configuration):
+        diamond_objective.evaluate(diamond_base_configuration)
+        series = diamond_objective.history.cost_series()
+        series.append(-1.0)
+        assert diamond_objective.history.cost_series() != series
+        best_series = diamond_objective.history.best_feasible_cost_series()
+        best_series.clear()
+        assert diamond_objective.history.best_feasible_cost_series()

@@ -123,3 +123,63 @@ class TestContainerPool:
         b, _ = pool.acquire("f", CONFIG, timestamp=3.0)
         pool.discard(b)
         assert pool.evictions == 1
+
+
+class TestExpiryHeap:
+    """The lazy expiry heap must evict exactly what a full scan would."""
+
+    def test_bulk_expiry_evicts_all_in_one_event(self):
+        pool = ContainerPool(keep_alive_seconds=50.0, max_containers_per_function=64)
+        for i in range(20):
+            container, _ = pool.acquire("f", ResourceConfig(1 + i, 512), timestamp=0.0)
+            pool.release(container, finish_time=1.0)
+        assert pool.warm_count("f", timestamp=10.0) == 20
+        _, cold = pool.acquire("f", CONFIG, timestamp=500.0)
+        assert cold
+        assert pool.evictions == 20
+
+    def test_re_release_refreshes_expiry(self):
+        pool = ContainerPool(keep_alive_seconds=100.0)
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=10.0)  # would expire at 110
+        reused, cold = pool.acquire("f", CONFIG, timestamp=100.0)
+        assert not cold and reused is container
+        pool.release(reused, finish_time=150.0)  # refreshed: expires at 250
+        # The stale (expiry 110) heap entry must not evict the refreshed one.
+        _, cold = pool.acquire("f", CONFIG, timestamp=200.0)
+        assert not cold
+        assert pool.evictions == 0
+
+    def test_discarded_container_not_double_counted_on_expiry(self):
+        pool = ContainerPool(keep_alive_seconds=10.0)
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=1.0)
+        pool.discard(container)
+        assert pool.evictions == 1
+        # Its stale heap entry is skipped silently at the next sweep.
+        _, cold = pool.acquire("f", CONFIG, timestamp=100.0)
+        assert cold
+        assert pool.evictions == 1
+
+    def test_checked_out_container_not_evicted_by_stale_entry(self):
+        pool = ContainerPool(keep_alive_seconds=10.0)
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(container, finish_time=1.0)
+        checked_out, cold = pool.acquire("f", CONFIG, timestamp=5.0)
+        assert not cold
+        # Expiry sweep while the container is checked out: nothing to evict.
+        _, cold = pool.acquire("f", CONFIG, timestamp=100.0)
+        assert cold
+        assert pool.evictions == 0
+        # Releasing it afterwards restores it as warm from its new last use.
+        pool.release(checked_out, finish_time=105.0)
+        assert pool.warm_count("f", timestamp=110.0) == 1
+
+    def test_most_recently_used_match_wins(self):
+        pool = ContainerPool(keep_alive_seconds=1000.0)
+        a, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        b, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        pool.release(a, finish_time=10.0)
+        pool.release(b, finish_time=20.0)
+        reused, cold = pool.acquire("f", CONFIG, timestamp=30.0)
+        assert not cold and reused is b

@@ -1,0 +1,228 @@
+"""Tests for the vectorized evaluation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.execution.backend import CachingBackend, SimulatorBackend, build_backend
+from repro.execution.executor import ExecutorOptions, WorkflowExecutor
+from repro.execution.trace import ExecutionStatus
+from repro.execution.vectorized import LazyExecutionTrace, VectorizedBackend
+from repro.perfmodel.base import FunctionPerformanceModel, RuntimeEstimate
+from repro.perfmodel.noise import LognormalNoise
+from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.utils.rng import RngStream
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+
+
+def _variants(base, count):
+    """Distinct configurations derived from a base one."""
+    return [
+        base.updated("left", ResourceConfig(vcpu=1.0 + 0.5 * i, memory_mb=512.0 + 128.0 * i))
+        for i in range(count)
+    ]
+
+
+def records_equal(a, b):
+    for name in a.records:
+        ra, rb = a.record(name), b.record(name)
+        if (
+            ra.start_time != rb.start_time
+            or ra.finish_time != rb.finish_time
+            or ra.runtime_seconds != rb.runtime_seconds
+            or ra.cost != rb.cost
+            or ra.status != rb.status
+        ):
+            return False
+    return True
+
+
+class TestVectorizedBackend:
+    def test_batch_bit_identical_to_scalar(
+        self, diamond_executor, diamond_registry, diamond_workflow, diamond_base_configuration
+    ):
+        configs = _variants(diamond_base_configuration, 6)
+        scalar = SimulatorBackend(diamond_executor).evaluate_batch(diamond_workflow, configs)
+        vectorized = VectorizedBackend(
+            WorkflowExecutor(performance_model=diamond_registry)
+        ).evaluate_batch(diamond_workflow, configs)
+        for a, b in zip(scalar, vectorized):
+            assert b.end_to_end_latency == a.end_to_end_latency
+            assert b.total_cost == a.total_cost
+            assert b.succeeded == a.succeeded
+            assert records_equal(a, b)
+
+    def test_oom_and_skip_propagation_match_scalar(
+        self, diamond_executor, diamond_registry, diamond_workflow, diamond_base_configuration
+    ):
+        # 'left' OOMs (needs 256 MB); 'exit' must be skipped in both paths.
+        starved = diamond_base_configuration.updated(
+            "left", ResourceConfig(vcpu=2.0, memory_mb=128.0)
+        )
+        configs = [starved, diamond_base_configuration]
+        scalar = SimulatorBackend(diamond_executor).evaluate_batch(diamond_workflow, configs)
+        vectorized = VectorizedBackend(
+            WorkflowExecutor(performance_model=diamond_registry)
+        ).evaluate_batch(diamond_workflow, configs)
+        assert vectorized[0].record("left").status == ExecutionStatus.OOM
+        assert vectorized[0].record("exit").status == ExecutionStatus.SKIPPED
+        assert not vectorized[0].succeeded
+        for a, b in zip(scalar, vectorized):
+            assert records_equal(a, b)
+            assert b.total_cost == a.total_cost
+
+    def test_uncharged_oom_costs_nothing(self, diamond_registry, diamond_workflow,
+                                         diamond_base_configuration):
+        options = ExecutorOptions(charge_failed_invocations=False)
+        starved = diamond_base_configuration.updated(
+            "left", ResourceConfig(vcpu=2.0, memory_mb=128.0)
+        )
+        scalar = SimulatorBackend(
+            WorkflowExecutor(performance_model=diamond_registry, options=options)
+        ).evaluate(diamond_workflow, starved)
+        vectorized = VectorizedBackend(
+            WorkflowExecutor(performance_model=diamond_registry, options=options)
+        ).evaluate_batch(diamond_workflow, [starved])[0]
+        assert vectorized.record("left").cost == 0.0
+        assert vectorized.record("left").runtime_seconds == 0.0
+        assert records_equal(scalar, vectorized)
+
+    def test_noisy_rows_fall_back_to_scalar(self, diamond_registry, diamond_workflow,
+                                            diamond_base_configuration):
+        registry = diamond_registry.with_noise(LognormalNoise(0.05))
+        configs = _variants(diamond_base_configuration, 4)
+        rngs = [RngStream(7, "noise").child(i) if i % 2 else None for i in range(4)]
+
+        backend = VectorizedBackend(WorkflowExecutor(performance_model=registry))
+        traces = backend.evaluate_batch(diamond_workflow, configs, rngs=rngs)
+        reference = SimulatorBackend(
+            WorkflowExecutor(performance_model=registry)
+        ).evaluate_batch(diamond_workflow, configs, rngs=rngs)
+        for a, b in zip(reference, traces):
+            assert records_equal(a, b)
+        stats = backend.stats
+        assert stats.vectorized == 2
+        assert stats.simulations == 2
+        assert stats.evaluations == 4
+
+    def test_cold_start_substrate_falls_back_entirely(self, diamond_registry,
+                                                      diamond_workflow,
+                                                      diamond_base_configuration):
+        executor = WorkflowExecutor(
+            performance_model=diamond_registry,
+            options=ExecutorOptions(simulate_cold_starts=True),
+        )
+        backend = VectorizedBackend(executor)
+        assert not backend.deterministic
+        traces = backend.evaluate_batch(
+            diamond_workflow, [diamond_base_configuration, diamond_base_configuration]
+        )
+        assert backend.stats.vectorized == 0
+        assert backend.stats.simulations == 2
+        # The first execution pays cold starts, the pooled second one may not.
+        assert traces[0].cold_start_count > 0
+
+    def test_non_analytic_model_falls_back(self, diamond_workflow, diamond_base_configuration):
+        class Stub(FunctionPerformanceModel):
+            def estimate(self, config, input_scale=1.0, rng=None):
+                return RuntimeEstimate(total_seconds=1.0, cpu_seconds=1.0, io_seconds=0.0)
+
+            def minimum_memory_mb(self, input_scale=1.0):
+                return 64.0
+
+        registry = PerformanceModelRegistry(
+            {name: Stub() for name in diamond_workflow.function_names}
+        )
+        backend = VectorizedBackend(WorkflowExecutor(performance_model=registry))
+        traces = backend.evaluate_batch(diamond_workflow, [diamond_base_configuration])
+        assert traces[0].end_to_end_latency == 3.0  # entry -> branch -> exit, 1s each
+        assert backend.stats.vectorized == 0
+        assert backend.stats.simulations == 1
+
+    def test_missing_function_raises_like_executor(self, diamond_registry, diamond_workflow):
+        backend = VectorizedBackend(WorkflowExecutor(performance_model=diamond_registry))
+        partial = WorkflowConfiguration(
+            {"entry": ResourceConfig(vcpu=1.0, memory_mb=512.0)}
+        )
+        with pytest.raises(KeyError, match="missing functions"):
+            backend.evaluate_batch(diamond_workflow, [partial])
+
+    def test_single_evaluate_delegates_to_executor(self, diamond_registry, diamond_workflow,
+                                                   diamond_base_configuration):
+        executor = WorkflowExecutor(performance_model=diamond_registry)
+        backend = VectorizedBackend(executor)
+        backend.evaluate(diamond_workflow, diamond_base_configuration)
+        assert executor.executions == 1
+        assert backend.stats.simulations == 1
+
+    def test_build_backend_selects_vectorized(self, diamond_executor):
+        backend = build_backend(diamond_executor, name="vectorized")
+        assert isinstance(backend, VectorizedBackend)
+        assert backend.describe() == "vectorized"
+        cached = build_backend(diamond_executor, name="vectorized", cache=True)
+        assert isinstance(cached, CachingBackend)
+        assert isinstance(cached.inner, VectorizedBackend)
+        assert "vectorized" in cached.describe()
+
+
+class TestLazyTraces:
+    def test_traces_are_lazy_and_materialize_consistently(
+        self, diamond_registry, diamond_workflow, diamond_base_configuration
+    ):
+        backend = VectorizedBackend(WorkflowExecutor(performance_model=diamond_registry))
+        trace = backend.evaluate_batch(diamond_workflow, [diamond_base_configuration])[0]
+        assert isinstance(trace, LazyExecutionTrace)
+        # Aggregates are served without materializing records.
+        latency = trace.end_to_end_latency
+        cost = trace.total_cost
+        assert trace._records is None
+        # Materialized records agree with the aggregates.
+        assert max(r.finish_time for r in trace.records.values()) == latency
+        assert sum(r.cost for r in trace.records.values()) == pytest.approx(cost)
+        assert trace.function_names()[0] == "entry"
+        assert trace.critical_path_estimate()[-1] == "exit"
+
+    def test_shifted_lazy_trace(self, diamond_registry, diamond_workflow,
+                                diamond_base_configuration):
+        backend = VectorizedBackend(WorkflowExecutor(performance_model=diamond_registry))
+        trace = backend.evaluate_batch(diamond_workflow, [diamond_base_configuration])[0]
+        shifted = trace.shifted(5.0)
+        assert shifted.record("entry").start_time == trace.record("entry").start_time + 5.0
+        assert shifted.end_to_end_latency == trace.end_to_end_latency + 5.0
+
+
+class TestCacheSharing:
+    def test_vectorized_and_scalar_share_cache_entries(
+        self, diamond_registry, diamond_workflow, diamond_base_configuration
+    ):
+        """Array-built (np.float64) and scalar-built configs hit one entry."""
+        cache = CachingBackend(
+            VectorizedBackend(WorkflowExecutor(performance_model=diamond_registry))
+        )
+        cache.evaluate_batch(diamond_workflow, [diamond_base_configuration])
+        assert cache.cache_misses == 1
+
+        values = np.array([4.0, 2048.0])  # np.float64 scalars, as array code builds
+        from_arrays = WorkflowConfiguration(
+            {
+                name: ResourceConfig(vcpu=values[0], memory_mb=values[1])
+                for name in diamond_workflow.function_names
+            }
+        )
+        cache.evaluate_batch(diamond_workflow, [from_arrays])
+        assert cache.cache_hits == 1
+        assert cache.cache_misses == 1
+        assert cache.cache_size == 1
+
+    def test_cached_sweep_served_without_touching_engine(
+        self, diamond_registry, diamond_workflow, diamond_base_configuration
+    ):
+        cache = CachingBackend(
+            VectorizedBackend(WorkflowExecutor(performance_model=diamond_registry))
+        )
+        configs = _variants(diamond_base_configuration, 5)
+        first = cache.evaluate_batch(diamond_workflow, configs)
+        second = cache.evaluate_batch(diamond_workflow, configs)
+        assert cache.cache_hits == 5
+        assert cache.stats.vectorized == 5  # only the first sweep ran the engine
+        for a, b in zip(first, second):
+            assert a is b

@@ -1,0 +1,54 @@
+"""Regression: BO search trajectories are bit-identical to the seed repo.
+
+``tests/data/bo_seed_trajectories.json`` was captured from the pre-vectorized
+codebase (scratch GP refits every round, O(m²) kernel-diagonal prior
+variance).  The incremental-Cholesky surrogate and the vectorized evaluation
+substrate must reproduce those trajectories *bit-identically* under the same
+seeds — the engine changes how fast the search runs, never where it goes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
+from repro.workloads.registry import get_workload
+
+DATA = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "data", "bo_seed_trajectories.json")
+
+
+def _load():
+    with open(DATA, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _run(workload_name, seed, samples, backend="simulator"):
+    settings = ExperimentSettings(seed=seed, bo_samples=samples, backend=backend)
+    workload = get_workload(workload_name)
+    searcher = make_searcher("BO", workload, settings)
+    objective = build_objective(workload, settings)
+    return searcher.search(objective)
+
+
+@pytest.mark.parametrize("key", sorted(_load().keys()))
+@pytest.mark.parametrize("backend", ["simulator", "vectorized"])
+def test_bo_reproduces_seed_trajectories_bit_identically(key, backend):
+    expected = _load()[key]
+    workload_name, seed_part, samples_part = key.split("/")
+    result = _run(workload_name, int(seed_part[len("seed"):]),
+                  int(samples_part[len("n"):]), backend=backend)
+
+    assert result.history.cost_series() == expected["cost_series"]
+    assert result.history.runtime_series() == expected["runtime_series"]
+    assert result.best_cost == expected["best_cost"]
+    observed_configs = [
+        sorted([name, config.vcpu, config.memory_mb]
+               for name, config in sample.configuration.items())
+        for sample in result.history.samples
+    ]
+    expected_configs = [
+        [list(entry) for entry in sample] for sample in expected["configs"]
+    ]
+    assert observed_configs == expected_configs

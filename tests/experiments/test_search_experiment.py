@@ -57,3 +57,27 @@ class TestRunSearchComparison:
         assert "Fig. 7" in cost_series
         with pytest.raises(ValueError):
             render_trajectories(small_comparison, kind="latency")
+
+
+class TestBackendInvariance:
+    def test_comparison_identical_through_vectorized_backend(self):
+        """Fig. 5/6/7 (and hence Table II) inputs do not depend on the
+        evaluation substrate: the vectorized engine is bit-identical."""
+        from repro.experiments.harness import ExperimentSettings
+
+        def run(backend):
+            settings = ExperimentSettings(seed=2025, bo_samples=20, maff_samples=40,
+                                          backend=backend)
+            return run_search_comparison(workloads=["chatbot"], settings=settings)
+
+        scalar = run("simulator")
+        vectorized = run("vectorized")
+        for method in scalar.methods("chatbot"):
+            a = scalar.run("chatbot", method)
+            b = vectorized.run("chatbot", method)
+            assert b.total_runtime_seconds == a.total_runtime_seconds
+            assert b.total_cost == a.total_cost
+            assert b.runtime_trajectory() == a.runtime_trajectory()
+            assert b.cost_trajectory() == a.cost_trajectory()
+            assert b.best_cost_trajectory() == a.best_cost_trajectory()
+            assert b.result.best_configuration == a.result.best_configuration

@@ -1,0 +1,126 @@
+"""Tests for incremental (rank-1 Cholesky) GP updates and their use in BO."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers.bayesian import BayesianOptimizer, BayesianOptimizerOptions
+from repro.optimizers.gp import GaussianProcessRegressor, Matern52Kernel, RBFKernel
+
+
+def _data(n, d=2, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(size=(n, d))
+    y = np.sin(3 * x[:, 0]) + x[:, 1] ** 2 + rng.normal(scale=0.01, size=n)
+    return x, y
+
+
+class TestKernelDiag:
+    @pytest.mark.parametrize("kernel", [RBFKernel(0.3, 2.5), Matern52Kernel(0.3, 2.5)])
+    def test_diag_equals_gram_diagonal(self, kernel):
+        x = np.random.default_rng(1).uniform(size=(16, 3))
+        assert np.allclose(kernel.diag(x), np.diag(kernel(x, x)))
+        assert kernel.diag(x).shape == (16,)
+
+
+class TestIncrementalUpdate:
+    def test_update_matches_full_refit(self):
+        x, y = _data(24)
+        incremental = GaussianProcessRegressor(kernel=Matern52Kernel(0.3))
+        incremental.fit(x[:8], y[:8])
+        for i in range(8, 24):
+            incremental.update(x[i][None, :], [y[i]])
+
+        scratch = GaussianProcessRegressor(kernel=Matern52Kernel(0.3))
+        scratch.fit(x, y)
+
+        query = np.random.default_rng(2).uniform(size=(32, 2))
+        mean_a, std_a = incremental.predict(query)
+        mean_b, std_b = scratch.predict(query)
+        assert np.allclose(mean_a, mean_b, atol=1e-9)
+        assert np.allclose(std_a, std_b, atol=1e-9)
+        assert incremental.log_marginal_likelihood() == pytest.approx(
+            scratch.log_marginal_likelihood(), abs=1e-8
+        )
+
+    def test_update_handles_multiple_rows_at_once(self):
+        x, y = _data(20)
+        gp = GaussianProcessRegressor()
+        gp.fit(x[:10], y[:10])
+        gp.update(x[10:], y[10:])
+        reference = GaussianProcessRegressor().fit(x, y)
+        mean_a, _ = gp.predict(x)
+        mean_b, _ = reference.predict(x)
+        assert np.allclose(mean_a, mean_b, atol=1e-9)
+
+    def test_update_before_fit_fits(self):
+        x, y = _data(5)
+        gp = GaussianProcessRegressor()
+        gp.update(x, y)
+        assert gp.is_fitted
+        mean, _ = gp.predict(x[:1])
+        assert np.isfinite(mean[0])
+
+    def test_update_with_duplicate_point_stays_stable(self):
+        x, y = _data(10)
+        gp = GaussianProcessRegressor(noise_variance=1e-6)
+        gp.fit(x, y)
+        # Conditioning on an exact duplicate must not produce NaNs (the
+        # Schur complement shrinks to the jitter, or triggers a full refit).
+        gp.update(x[3][None, :], [y[3] + 0.01])
+        mean, std = gp.predict(x)
+        assert np.all(np.isfinite(mean)) and np.all(np.isfinite(std))
+
+    def test_update_validates_shapes(self):
+        gp = GaussianProcessRegressor()
+        gp.fit(*_data(4))
+        with pytest.raises(ValueError):
+            gp.update(np.zeros((2, 2)), np.zeros(3))
+
+    def test_empty_update_is_a_no_op(self):
+        x, y = _data(6)
+        gp = GaussianProcessRegressor().fit(x, y)
+        before, _ = gp.predict(x)
+        gp.update(np.empty((0, 2)), np.empty(0))
+        after, _ = gp.predict(x)
+        assert np.array_equal(before, after)
+
+    def test_normalisation_tracks_growing_targets(self):
+        # Means/stds shift drastically as points arrive; update must follow.
+        x = np.linspace(0.0, 1.0, 12).reshape(-1, 1)
+        y = np.concatenate([np.full(6, 1.0), np.full(6, 1e6)])
+        gp = GaussianProcessRegressor(kernel=RBFKernel(0.4))
+        gp.fit(x[:6], y[:6])
+        gp.update(x[6:], y[6:])
+        reference = GaussianProcessRegressor(kernel=RBFKernel(0.4)).fit(x, y)
+        mean_a, _ = gp.predict(x)
+        mean_b, _ = reference.predict(x)
+        assert np.allclose(mean_a, mean_b, rtol=1e-7)
+
+
+class TestBOEquivalence:
+    def _search(self, objective, surrogate_updates):
+        options = BayesianOptimizerOptions(
+            max_samples=18,
+            n_initial_samples=5,
+            n_candidates=64,
+            seed=13,
+            surrogate_updates=surrogate_updates,
+        )
+        return BayesianOptimizer(options=options).search(objective)
+
+    def test_incremental_and_scratch_fits_trace_identically(
+        self, diamond_executor, diamond_workflow, diamond_slo
+    ):
+        from repro.core.objective import WorkflowObjective
+
+        results = []
+        for updates in (True, False):
+            objective = WorkflowObjective(
+                executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+            )
+            results.append(self._search(objective, updates))
+        incremental, scratch = results
+        assert incremental.history.cost_series() == scratch.history.cost_series()
+        assert incremental.history.runtime_series() == scratch.history.runtime_series()
+        assert incremental.best_cost == scratch.best_cost
+        assert incremental.best_configuration == scratch.best_configuration

@@ -1,0 +1,137 @@
+"""Property-based scalar vs. vectorized performance-model parity.
+
+The vectorized engine's whole value proposition is that it changes *how fast*
+evaluations are served, never *what* they observe.  These properties draw
+random profiles, allocations and input scales and assert that the batch
+kernels reproduce the scalar model's runtimes within 1e-9 (they are in fact
+bit-identical) with identical OOM masks — and that whole-workflow batch
+evaluation yields the same feasibility verdicts and latencies/costs as the
+scalar executor.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.objective import WorkflowObjective
+from repro.execution.backend import SimulatorBackend
+from repro.execution.executor import WorkflowExecutor
+from repro.execution.vectorized import VectorizedBackend
+from repro.perfmodel.analytic import AnalyticFunctionModel, FunctionProfile
+from repro.perfmodel.base import OutOfMemoryError
+from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.perfmodel.vectorized import VectorizedFunctionKernel
+from repro.pricing.model import PAPER_PRICING
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workflow.slo import SLO
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def profiles(draw, name="f"):
+    """Plausible random function profiles (validated by FunctionProfile)."""
+    cpu_seconds = draw(st.floats(min_value=0.0, max_value=60.0, **finite))
+    io_seconds = draw(st.floats(min_value=0.0, max_value=20.0, **finite))
+    if cpu_seconds == 0.0 and io_seconds == 0.0:
+        io_seconds = 1.0
+    working_set = draw(st.floats(min_value=16.0, max_value=4096.0, **finite))
+    headroom = draw(st.floats(min_value=0.0, max_value=4096.0, **finite))
+    return FunctionProfile(
+        name=name,
+        cpu_seconds=cpu_seconds,
+        io_seconds=io_seconds,
+        parallel_fraction=draw(st.floats(min_value=0.0, max_value=1.0, **finite)),
+        max_parallelism=draw(st.floats(min_value=1.0, max_value=16.0, **finite)),
+        working_set_mb=working_set,
+        comfortable_memory_mb=working_set + headroom,
+        memory_pressure_penalty=draw(st.floats(min_value=0.0, max_value=2.0, **finite)),
+        cpu_input_exponent=draw(st.floats(min_value=0.0, max_value=2.0, **finite)),
+        io_input_exponent=draw(st.floats(min_value=0.0, max_value=2.0, **finite)),
+        memory_input_exponent=draw(st.floats(min_value=0.0, max_value=1.5, **finite)),
+    )
+
+
+allocations = st.tuples(
+    st.floats(min_value=0.1, max_value=16.0, **finite),     # vcpu
+    st.floats(min_value=16.0, max_value=16384.0, **finite),  # memory
+)
+
+input_scales = st.floats(min_value=0.05, max_value=8.0, **finite)
+
+
+@given(profiles(), st.lists(allocations, min_size=1, max_size=32), input_scales)
+@settings(max_examples=200)
+def test_kernel_matches_scalar_model(profile, allocation_list, input_scale):
+    model = AnalyticFunctionModel(profile)
+    kernel = VectorizedFunctionKernel(profile)
+    vcpus = np.array([a[0] for a in allocation_list])
+    memories = np.array([a[1] for a in allocation_list])
+    batch = kernel.estimate_batch(vcpus, memories, input_scale=input_scale)
+
+    for i, (vcpu, memory) in enumerate(allocation_list):
+        config = ResourceConfig(vcpu=vcpu, memory_mb=memory)
+        try:
+            estimate = model.estimate(config, input_scale=input_scale)
+            scalar_oom = False
+        except OutOfMemoryError:
+            scalar_oom = True
+        assert bool(batch.oom[i]) == scalar_oom, "OOM masks must be identical"
+        if not scalar_oom:
+            assert abs(batch.total_seconds[i] - estimate.total_seconds) <= 1e-9
+        else:
+            viable = config.with_memory(model.minimum_memory_mb(input_scale))
+            charged = model.estimate(viable, input_scale=input_scale).total_seconds
+            assert abs(batch.charged_seconds[i] - charged) <= 1e-9
+
+
+@st.composite
+def diamond_setups(draw):
+    """A diamond workflow with random profiles plus a batch of configurations."""
+    names = ["entry", "left", "right", "exit"]
+    profile_list = [draw(profiles(name=name)) for name in names]
+    configurations = [
+        WorkflowConfiguration(
+            {name: ResourceConfig(vcpu=a[0], memory_mb=a[1])
+             for name, a in zip(names, draw(st.tuples(*[allocations] * 4)))}
+        )
+        for _ in range(draw(st.integers(min_value=1, max_value=8)))
+    ]
+    return profile_list, configurations, draw(input_scales)
+
+
+@given(diamond_setups())
+@settings(max_examples=60, deadline=None)
+def test_workflow_batch_matches_scalar_executor(setup):
+    profile_list, configurations, input_scale = setup
+    workflow = Workflow(
+        name="diamond",
+        functions=[FunctionSpec(p.name) for p in profile_list],
+        edges=[("entry", "left"), ("entry", "right"), ("left", "exit"), ("right", "exit")],
+    )
+    registry = PerformanceModelRegistry.from_profiles(profile_list)
+
+    def run(backend_cls):
+        executor = WorkflowExecutor(performance_model=registry, pricing=PAPER_PRICING)
+        objective = WorkflowObjective(
+            workflow=workflow,
+            slo=SLO(latency_limit=60.0),
+            input_scale=input_scale,
+            backend=backend_cls(executor),
+        )
+        return objective.evaluate_batch(configurations)
+
+    scalar_results = run(SimulatorBackend)
+    vector_results = run(VectorizedBackend)
+    for scalar, vector in zip(scalar_results, vector_results):
+        assert vector.succeeded == scalar.succeeded
+        assert vector.feasible == scalar.feasible
+        assert abs(vector.runtime_seconds - scalar.runtime_seconds) <= 1e-9
+        assert abs(vector.cost - scalar.cost) <= 1e-9
+        for name in workflow.function_names:
+            scalar_record = scalar.trace.record(name)
+            vector_record = vector.trace.record(name)
+            assert vector_record.status == scalar_record.status
+            assert abs(vector_record.start_time - scalar_record.start_time) <= 1e-9
+            assert abs(vector_record.finish_time - scalar_record.finish_time) <= 1e-9
+            assert abs(vector_record.cost - scalar_record.cost) <= 1e-9
