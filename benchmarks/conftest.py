@@ -23,6 +23,19 @@ from repro.experiments.search_experiment import run_search_comparison  # noqa: E
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
+
+def pytest_collection_modifyitems(items) -> None:
+    """Every benchmark is part of the slow lane (`-m "not slow"` skips them).
+
+    The hook fires for the whole session, so restrict the marker to items
+    collected from this directory; the CI benchmark-smoke job names its
+    files explicitly and is unaffected by the marker.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+
 #: Settings used by every benchmark: the paper's 100-round BO budget and a
 #: fixed seed so benchmark output is reproducible run-to-run.
 BENCH_SETTINGS = ExperimentSettings(seed=2025, bo_samples=100, maff_samples=100)

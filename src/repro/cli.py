@@ -11,7 +11,11 @@ Exposes the most common operations of the library without writing Python:
 * ``repro-aarc heatmap <workload>`` — regenerate the Fig. 2 decoupling sweep.
 * ``repro-aarc serve --workload <workload>`` — drive a configured workflow
   through a traffic model on the event-driven serving layer and report
-  throughput, tail latency, SLO attainment, cold starts and cost.
+  throughput, tail latency, SLO attainment, cold starts and cost
+  (``--faults <profile>`` perturbs the run with the fault-injection layer).
+* ``repro-aarc scenarios`` — run the named resilience scenario matrix
+  (baseline, crashes, node-failure storm, stragglers, ...) and render a
+  comparative goodput / availability / retry-amplification table.
 
 The ``repro`` console script is an alias of ``repro-aarc``.
 
@@ -27,6 +31,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.execution.backend import BACKEND_NAMES
+from repro.execution.faults import FAULT_PROFILE_NAMES
 from repro.experiments.harness import (
     DEFAULT_METHODS,
     ExperimentSettings,
@@ -37,9 +42,14 @@ from repro.experiments.motivation import decoupling_heatmap
 from repro.experiments.reporting import (
     render_backend_stats,
     render_heatmap,
+    render_scenario_matrix,
     render_serving_report,
 )
-from repro.experiments.serving_experiment import ServingSettings, run_serving_experiment
+from repro.experiments.serving_experiment import (
+    ServingSettings,
+    run_scenario_matrix,
+    run_serving_experiment,
+)
 from repro.workloads.arrivals import ARRIVAL_NAMES
 from repro.utils.tables import Table
 from repro.workflow.serialization import configuration_to_dict
@@ -154,10 +164,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--noise", type=float, default=0.0, metavar="CV",
         help="lognormal execution-noise coefficient of variation (0 = off)",
     )
+    serve.add_argument(
+        "--faults", default=None, choices=list(FAULT_PROFILE_NAMES),
+        help="fault profile to inject ('default' = the workload's own; "
+             "omit for a clean run)",
+    )
     # Top-level --seed sits before the subcommand; accept it after 'serve'
     # too (the natural place to type it) without clobbering the parent value.
     serve.add_argument(
         "--seed", dest="serve_seed", type=int, default=None,
+        help="experiment seed (same as the global --seed)",
+    )
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="run the resilience scenario matrix through the serving layer",
+    )
+    scenarios.add_argument(
+        "--workload", default="chatbot",
+        help="workload whose workflow is served (see 'workloads')",
+    )
+    scenarios.add_argument(
+        "--method", default="base",
+        choices=["AARC", "BO", "MAFF", "Random", "Grid", "base"],
+        help="configuration source shared by every scenario",
+    )
+    scenarios.add_argument(
+        "--duration", type=float, default=200.0,
+        help="traffic horizon in simulated seconds per scenario",
+    )
+    scenarios.add_argument(
+        "--nodes", type=positive_int, default=4,
+        help="cluster size every scenario contends for",
+    )
+    scenarios.add_argument(
+        "--rate", type=float, default=0.15,
+        help="shared mean arrival rate in requests/second",
+    )
+    scenarios.add_argument(
+        "--seed", dest="scenarios_seed", type=int, default=None,
         help="experiment seed (same as the global --seed)",
     )
 
@@ -278,9 +323,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         autoscale=args.autoscale,
         cache=args.cache,
         noise_cv=args.noise,
+        faults=args.faults,
     )
     report = run_serving_experiment(args.workload, settings)
     print(render_serving_report(report))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    seed = args.scenarios_seed if args.scenarios_seed is not None else args.seed
+    matrix = run_scenario_matrix(
+        args.workload,
+        seed=seed,
+        duration_seconds=args.duration,
+        method=args.method,
+        nodes=args.nodes,
+        rate_rps=args.rate,
+    )
+    print(render_scenario_matrix(matrix))
     return 0
 
 
@@ -291,6 +351,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "heatmap": _cmd_heatmap,
     "serve": _cmd_serve,
+    "scenarios": _cmd_scenarios,
 }
 
 

@@ -32,6 +32,18 @@ from repro.execution.events import (
     RequestOutcome,
     RequestStreamSimulator,
 )
+from repro.execution.faults import (
+    FAULT_PROFILE_NAMES,
+    ExponentialBackoffRetry,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FixedRetry,
+    InvocationOutcome,
+    NoRetry,
+    RetryPolicy,
+    get_fault_profile,
+)
 from repro.execution.serving import (
     AutoscalerOptions,
     ServedRequest,
@@ -67,6 +79,16 @@ __all__ = [
     "RequestArrival",
     "RequestOutcome",
     "RequestStreamSimulator",
+    "FAULT_PROFILE_NAMES",
+    "ExponentialBackoffRetry",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FixedRetry",
+    "InvocationOutcome",
+    "NoRetry",
+    "RetryPolicy",
+    "get_fault_profile",
     "AutoscalerOptions",
     "ServedRequest",
     "ServingMetrics",

@@ -86,6 +86,9 @@ class BackendStats:
         Warm-container-pool counters of the underlying executor (zero when
         the substrate simulates no cold starts and no serving layer shares
         its pool).
+    fault_kills:
+        Containers destroyed mid-invocation by the fault-injection layer
+        (zero unless a serving run injected faults through the shared pool).
     """
 
     evaluations: int = 0
@@ -97,6 +100,7 @@ class BackendStats:
     cold_starts: int = 0
     warm_hits: int = 0
     evictions: int = 0
+    fault_kills: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -137,6 +141,8 @@ class BackendStats:
                 f", pool {self.cold_starts} cold starts / {self.warm_hits} warm hits"
                 f" / {self.evictions} evictions"
             )
+        if self.fault_kills:
+            text += f", {self.fault_kills} fault kills"
         return text
 
 
@@ -261,6 +267,7 @@ class SimulatorBackend(EvaluationBackend):
         stats.cold_starts = pool.cold_starts
         stats.warm_hits = pool.warm_hits
         stats.evictions = pool.evictions
+        stats.fault_kills = pool.fault_kills
         return stats
 
     @property
@@ -467,6 +474,7 @@ class CachingBackend(EvaluationBackend):
                 cold_starts=inner.cold_starts,
                 warm_hits=inner.warm_hits,
                 evictions=inner.evictions,
+                fault_kills=inner.fault_kills,
             )
 
     @property

@@ -33,6 +33,7 @@ class Node:
     vcpu_used: float = 0.0
     memory_used_mb: float = 0.0
     placements: List[Tuple[str, ResourceConfig]] = field(default_factory=list)
+    healthy: bool = True
 
     def __post_init__(self) -> None:
         if self.vcpu_capacity <= 0 or self.memory_capacity_mb <= 0:
@@ -42,7 +43,8 @@ class Node:
     def can_fit(self, config: ResourceConfig) -> bool:
         """Whether the node has room for one more container of this size."""
         return (
-            self.vcpu_used + config.vcpu <= self.vcpu_capacity + 1e-9
+            self.healthy
+            and self.vcpu_used + config.vcpu <= self.vcpu_capacity + 1e-9
             and self.memory_used_mb + config.memory_mb <= self.memory_capacity_mb + 1e-9
         )
 
@@ -152,12 +154,40 @@ class Cluster:
             return 0.0
         return sum(n.imbalance for n in occupied) / len(occupied)
 
+    # -- failure model ----------------------------------------------------------
+    def fail_node(self, name: str) -> List[str]:
+        """Take one node down, evicting every resident container.
+
+        Returns the names of the evicted placements so the serving layer can
+        reschedule the affected requests.  Failing an already-down node is a
+        no-op returning an empty list.
+        """
+        node = self._nodes[name]
+        if not node.healthy:
+            return []
+        evicted = [placement_name for placement_name, _ in node.placements]
+        node.placements.clear()
+        node.vcpu_used = 0.0
+        node.memory_used_mb = 0.0
+        node.healthy = False
+        return evicted
+
+    def restore_node(self, name: str) -> None:
+        """Bring a failed node back (empty, with its full capacity)."""
+        self._nodes[name].healthy = True
+
+    @property
+    def healthy_nodes(self) -> List[Node]:
+        """Nodes currently accepting placements."""
+        return [node for node in self._nodes.values() if node.healthy]
+
     def reset(self) -> None:
-        """Remove all placements."""
+        """Remove all placements (and bring failed nodes back up)."""
         for node in self._nodes.values():
             node.placements.clear()
             node.vcpu_used = 0.0
             node.memory_used_mb = 0.0
+            node.healthy = True
 
 
 def affinity_aware_placement(

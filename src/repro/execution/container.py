@@ -49,6 +49,7 @@ class _PoolStats:
     cold_starts: int = 0
     warm_hits: int = 0
     evictions: int = 0
+    fault_kills: int = 0
 
 
 class ContainerPool:
@@ -178,6 +179,20 @@ class ContainerPool:
         self._remove(container)
         self._stats.evictions += 1
 
+    def kill(self, container: Container) -> None:
+        """Record the fault-kill of a checked-out container.
+
+        The fault layer destroys containers mid-invocation (crashes,
+        transient OOM, timeout kills, node failures).  A checked-out
+        container is not pool-resident, so there is nothing to remove — the
+        call just counts the kill; if the container somehow is resident it
+        is removed as well so a dead container never serves a warm start.
+        """
+        resident = self._containers.get(container.function_name, {})
+        if container.container_id in resident:
+            self._remove(container)
+        self._stats.fault_kills += 1
+
     # -- maintenance -----------------------------------------------------------
     def _evict_expired(self, function_name: str, timestamp: float) -> None:
         """Pop expired heap entries; skip stale ones, re-queue still-warm ones.
@@ -264,3 +279,8 @@ class ContainerPool:
     def evictions(self) -> int:
         """Total containers evicted (expiry, capacity and forced discards)."""
         return self._stats.evictions
+
+    @property
+    def fault_kills(self) -> int:
+        """Total checked-out containers destroyed by injected faults."""
+        return self._stats.fault_kills

@@ -1,0 +1,488 @@
+"""Seed-deterministic fault injection for the serving layer.
+
+Real serverless platforms are defined as much by their failure behaviour as
+by their happy path: containers crash mid-invocation, transient OOM and
+timeout kills destroy work, whole nodes fail and take every resident
+container with them, and stragglers stretch the tail.  This module models
+those perturbations as data — a :class:`FaultPlan` — plus a
+:class:`FaultInjector` that turns the plan into a *schedule*:
+
+* Per-invocation faults (crash-at-fraction-of-runtime, transient OOM,
+  straggler slowdown, per-function timeout kills) are drawn from
+  :class:`~repro.utils.rng.RngStream` children keyed by
+  ``(request index, incarnation, function, attempt)``, so the schedule is a
+  pure function of the plan's seed — independent of event interleaving,
+  dispatch order, or how many other requests are in flight.
+* Whole-node failures are a Poisson process over the run horizon,
+  precomputed up front the same way.
+* Retries are governed by pluggable :class:`RetryPolicy` objects
+  (:class:`NoRetry`, :class:`FixedRetry`, :class:`ExponentialBackoffRetry`
+  with deterministic jitter), all bounded by ``max_attempts``.
+
+An *empty* plan (:meth:`FaultPlan.is_empty`) injects nothing; the serving
+layer routes such runs through its unperturbed code path, so a run with an
+empty plan is byte-identical to a run with no injector at all — the
+invariant the golden-trace regression harness relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "FaultKind",
+    "InvocationOutcome",
+    "RetryPolicy",
+    "NoRetry",
+    "FixedRetry",
+    "ExponentialBackoffRetry",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_PROFILE_NAMES",
+    "get_fault_profile",
+]
+
+
+class FaultKind(enum.Enum):
+    """The kinds of perturbation the injector can apply to an invocation."""
+
+    CRASH = "crash"
+    OOM = "oom"
+    TIMEOUT = "timeout"
+    STRAGGLER = "straggler"
+    NODE_FAILURE = "node-failure"
+
+
+# -- retry policies ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Decides whether (and when) a killed invocation is retried.
+
+    Attempts are numbered from 1; ``max_attempts`` bounds the *total* number
+    of attempts, so a policy with ``max_attempts=3`` retries at most twice.
+    """
+
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def backoff_seconds(
+        self, attempt: int, rng: Optional[RngStream] = None
+    ) -> Optional[float]:
+        """Delay before the retry that follows failed attempt ``attempt``.
+
+        Returns ``None`` when the budget is exhausted (no further attempt).
+        """
+        if attempt >= self.max_attempts:
+            return None
+        return self._delay(attempt, rng)
+
+    def _delay(self, attempt: int, rng: Optional[RngStream]) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"{type(self).__name__}(max_attempts={self.max_attempts})"
+
+
+@dataclass(frozen=True)
+class NoRetry(RetryPolicy):
+    """Fail terminally on the first kill (``max_attempts`` is forced to 1)."""
+
+    max_attempts: int = 1
+
+    def _delay(self, attempt: int, rng: Optional[RngStream]) -> float:
+        raise AssertionError("NoRetry never grants a retry")  # pragma: no cover
+
+    def describe(self) -> str:
+        return "none"
+
+
+@dataclass(frozen=True)
+class FixedRetry(RetryPolicy):
+    """Retry after a constant delay, up to ``max_attempts`` total attempts."""
+
+    max_attempts: int = 3
+    delay_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    def _delay(self, attempt: int, rng: Optional[RngStream]) -> float:
+        return self.delay_seconds
+
+    def describe(self) -> str:
+        return f"fixed({self.delay_seconds:g}s, max {self.max_attempts})"
+
+
+@dataclass(frozen=True)
+class ExponentialBackoffRetry(RetryPolicy):
+    """Exponential backoff with deterministic jitter.
+
+    The delay before the retry following attempt ``k`` is
+    ``min(base · multiplier^(k-1), max_delay) · (1 + jitter · u)`` with
+    ``u`` drawn uniformly from ``[-1, 1)`` on the supplied
+    :class:`~repro.utils.rng.RngStream` (``u = 0`` when none is given), so
+    jittered schedules stay bit-reproducible under a fixed seed.
+    """
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.5
+    multiplier: float = 2.0
+    max_delay_seconds: float = 30.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be at least 1")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def _delay(self, attempt: int, rng: Optional[RngStream]) -> float:
+        delay = min(
+            self.base_delay_seconds * self.multiplier ** (attempt - 1),
+            self.max_delay_seconds,
+        )
+        if self.jitter > 0 and rng is not None:
+            delay *= 1.0 + self.jitter * rng.uniform(-1.0, 1.0)
+        return delay
+
+    def describe(self) -> str:
+        return (
+            f"exponential({self.base_delay_seconds:g}s×{self.multiplier:g}, "
+            f"max {self.max_attempts})"
+        )
+
+
+# -- the plan ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults one serving run suffers.
+
+    All probabilities are per *invocation attempt*; at most one invocation
+    fault is drawn per attempt (crash, then OOM, then straggler, by
+    cumulative probability).  Timeouts apply on top: an attempt — slowed or
+    not — that would hold its container longer than the function's timeout
+    budget is killed at the budget instead.
+
+    Attributes
+    ----------
+    crash_probability:
+        Chance an attempt crashes partway through; the crash point is drawn
+        uniformly from ``crash_fraction_range`` of the (possibly slowed)
+        runtime, and all work up to it is lost.
+    oom_probability:
+        Chance of a transient OOM kill (same partial-work semantics; the
+        container is destroyed either way, but reports count it separately).
+    straggler_probability / straggler_slowdown:
+        Chance an attempt runs ``slowdown`` times longer than modelled.
+    timeout_seconds / timeout_overrides:
+        Per-function wall-clock budget (cold start included); ``None``
+        disables timeouts, and overrides take precedence per function name.
+    node_failures_per_hour / node_recovery_seconds:
+        Rate of whole-node failures across the cluster (a Poisson process
+        over the run horizon; each event picks a node uniformly) and how
+        long a failed node stays down.
+    retry:
+        Policy governing retries of killed attempts.
+    seed:
+        Root seed of the fault schedule; two runs of the same plan produce
+        the same schedule.
+    """
+
+    crash_probability: float = 0.0
+    crash_fraction_range: Tuple[float, float] = (0.1, 0.9)
+    oom_probability: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 4.0
+    timeout_seconds: Optional[float] = None
+    timeout_overrides: Optional[Mapping[str, float]] = None
+    node_failures_per_hour: float = 0.0
+    node_recovery_seconds: float = 120.0
+    retry: RetryPolicy = field(default_factory=NoRetry)
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        for name in ("crash_probability", "oom_probability", "straggler_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.crash_probability + self.oom_probability + self.straggler_probability > 1.0:
+            raise ValueError("fault probabilities cannot sum above 1")
+        low, high = self.crash_fraction_range
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError("crash_fraction_range must satisfy 0 <= low <= high <= 1")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be at least 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive (or None)")
+        if self.timeout_overrides is not None:
+            for name, value in self.timeout_overrides.items():
+                if value <= 0:
+                    raise ValueError(f"timeout override for {name!r} must be positive")
+        if self.node_failures_per_hour < 0:
+            raise ValueError("node_failures_per_hour must be non-negative")
+        if self.node_recovery_seconds <= 0:
+            raise ValueError("node_recovery_seconds must be positive")
+
+    @classmethod
+    def none(cls, seed: int = 2025) -> "FaultPlan":
+        """The empty plan: injects nothing, perturbs nothing."""
+        return cls(seed=seed)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this plan can never perturb a run."""
+        return (
+            self.crash_probability == 0.0
+            and self.oom_probability == 0.0
+            and self.straggler_probability == 0.0
+            and self.timeout_seconds is None
+            and not self.timeout_overrides
+            and self.node_failures_per_hour == 0.0
+        )
+
+    def timeout_for(self, function_name: str) -> Optional[float]:
+        """Effective timeout budget of one function (``None`` = unbounded)."""
+        if self.timeout_overrides and function_name in self.timeout_overrides:
+            return float(self.timeout_overrides[function_name])
+        return self.timeout_seconds
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy of this plan rooted at a different schedule seed."""
+        return dataclasses.replace(self, seed=int(seed))
+
+    def describe(self) -> str:
+        """Human-readable one-liner of the active fault sources."""
+        if self.is_empty:
+            return "no faults"
+        parts: List[str] = []
+        if self.crash_probability:
+            parts.append(f"crash {self.crash_probability * 100:g}%")
+        if self.oom_probability:
+            parts.append(f"oom {self.oom_probability * 100:g}%")
+        if self.straggler_probability:
+            parts.append(
+                f"straggler {self.straggler_probability * 100:g}% "
+                f"×{self.straggler_slowdown:g}"
+            )
+        if self.timeout_seconds is not None or self.timeout_overrides:
+            budget = (
+                f"{self.timeout_seconds:g}s" if self.timeout_seconds is not None else "per-fn"
+            )
+            parts.append(f"timeout {budget}")
+        if self.node_failures_per_hour:
+            parts.append(
+                f"node failures {self.node_failures_per_hour:g}/h "
+                f"(recover {self.node_recovery_seconds:g}s)"
+            )
+        parts.append(f"retry {self.retry.describe()}")
+        return ", ".join(parts)
+
+
+# -- invocation outcomes ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvocationOutcome:
+    """What the injector decided for one invocation attempt.
+
+    ``elapsed_seconds`` is how long the attempt holds its container from
+    acquisition (cold start included) to completion or kill; a killed
+    attempt's elapsed time is pure wasted work.
+    """
+
+    fault: Optional[FaultKind]
+    elapsed_seconds: float
+    completed: bool
+
+    @property
+    def killed(self) -> bool:
+        """Whether the attempt was killed before completing."""
+        return not self.completed
+
+
+# -- the injector -----------------------------------------------------------------
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into a deterministic fault schedule.
+
+    Every decision is drawn from an :class:`~repro.utils.rng.RngStream`
+    child keyed by the invocation's identity, never from a shared sequential
+    stream — so the schedule depends only on the plan's seed, not on the
+    order in which the serving layer asks.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: Optional[RngStream] = None) -> None:
+        self.plan = plan
+        self._rng = rng if rng is not None else RngStream(plan.seed, "faults")
+
+    # -- per-invocation schedule ---------------------------------------------------
+    def plan_invocation(
+        self,
+        request_index: int,
+        function_name: str,
+        attempt: int,
+        runtime_seconds: float,
+        cold_start_seconds: float = 0.0,
+        incarnation: int = 0,
+    ) -> InvocationOutcome:
+        """Decide the fate of one invocation attempt.
+
+        Parameters
+        ----------
+        request_index / function_name / attempt / incarnation:
+            Identity of the attempt (``incarnation`` counts node-failure
+            restarts of the whole request, so a re-placed request draws a
+            fresh schedule instead of replaying its old one).
+        runtime_seconds:
+            The attempt's fault-free service runtime.
+        cold_start_seconds:
+            Cold-start latency the attempt pays before useful work starts.
+        """
+        stream = self._rng.child(
+            "invocation", request_index, incarnation, function_name, attempt
+        )
+        draw = stream.uniform()
+        fault: Optional[FaultKind] = None
+        effective = float(runtime_seconds)
+        kill_at: Optional[float] = None
+        crash_p = self.plan.crash_probability
+        oom_p = self.plan.oom_probability
+        straggler_p = self.plan.straggler_probability
+        low, high = self.plan.crash_fraction_range
+        if draw < crash_p:
+            fault = FaultKind.CRASH
+            kill_at = cold_start_seconds + stream.uniform(low, high) * effective
+        elif draw < crash_p + oom_p:
+            fault = FaultKind.OOM
+            kill_at = cold_start_seconds + stream.uniform(low, high) * effective
+        elif draw < crash_p + oom_p + straggler_p:
+            fault = FaultKind.STRAGGLER
+            effective *= self.plan.straggler_slowdown
+        completion = cold_start_seconds + effective
+        end = completion if kill_at is None else kill_at
+        timeout = self.plan.timeout_for(function_name)
+        if timeout is not None and timeout < end:
+            # The timeout budget kills first, whatever else was scheduled.
+            return InvocationOutcome(
+                fault=FaultKind.TIMEOUT, elapsed_seconds=timeout, completed=False
+            )
+        if kill_at is not None:
+            return InvocationOutcome(fault=fault, elapsed_seconds=kill_at, completed=False)
+        return InvocationOutcome(fault=fault, elapsed_seconds=completion, completed=True)
+
+    def backoff_seconds(
+        self,
+        request_index: int,
+        function_name: str,
+        attempt: int,
+        incarnation: int = 0,
+    ) -> Optional[float]:
+        """Retry delay after failed attempt ``attempt`` (None = give up)."""
+        stream = self._rng.child(
+            "backoff", request_index, incarnation, function_name, attempt
+        )
+        return self.plan.retry.backoff_seconds(attempt, stream)
+
+    # -- node-failure schedule -----------------------------------------------------
+    def node_failure_schedule(
+        self, duration_seconds: float, node_names: Sequence[str]
+    ) -> List[Tuple[float, str]]:
+        """Precompute ``(time, node)`` failure events over the run horizon.
+
+        Failures arrive as a Poisson process at ``node_failures_per_hour``
+        across the whole cluster; each event strikes a uniformly chosen
+        node.  The schedule is sorted by time and fully determined by the
+        plan's seed.
+        """
+        if (
+            self.plan.node_failures_per_hour <= 0
+            or duration_seconds <= 0
+            or not node_names
+        ):
+            return []
+        stream = self._rng.child("node-failures")
+        mean_gap = 3600.0 / self.plan.node_failures_per_hour
+        events: List[Tuple[float, str]] = []
+        t = stream.exponential(mean_gap)
+        while t < duration_seconds:
+            events.append((t, str(stream.choice(list(node_names)))))
+            t += stream.exponential(mean_gap)
+        return events
+
+
+# -- named profiles ---------------------------------------------------------------
+
+
+def _profiles(seed: int) -> Dict[str, FaultPlan]:
+    return {
+        "none": FaultPlan.none(seed=seed),
+        "crashes": FaultPlan(
+            crash_probability=0.15,
+            retry=ExponentialBackoffRetry(max_attempts=4, base_delay_seconds=0.5),
+            seed=seed,
+        ),
+        "oom": FaultPlan(
+            oom_probability=0.12,
+            retry=FixedRetry(max_attempts=3, delay_seconds=1.0),
+            seed=seed,
+        ),
+        "stragglers": FaultPlan(
+            straggler_probability=0.2,
+            straggler_slowdown=5.0,
+            retry=NoRetry(),
+            seed=seed,
+        ),
+        "node-storm": FaultPlan(
+            node_failures_per_hour=90.0,
+            node_recovery_seconds=45.0,
+            retry=ExponentialBackoffRetry(max_attempts=3, base_delay_seconds=0.5),
+            seed=seed,
+        ),
+        "chaos": FaultPlan(
+            crash_probability=0.1,
+            oom_probability=0.05,
+            straggler_probability=0.1,
+            straggler_slowdown=3.0,
+            node_failures_per_hour=30.0,
+            node_recovery_seconds=60.0,
+            retry=ExponentialBackoffRetry(max_attempts=4, base_delay_seconds=0.5),
+            seed=seed,
+        ),
+    }
+
+
+#: Profile names accepted by :func:`get_fault_profile` (and ``serve --faults``).
+FAULT_PROFILE_NAMES: Tuple[str, ...] = tuple(sorted(_profiles(0))) + ("default",)
+
+
+def get_fault_profile(name: str, seed: int = 2025) -> FaultPlan:
+    """Look up a named fault profile, rooted at ``seed``.
+
+    ``"default"`` is resolved by the caller (it means "the workload's own
+    profile") and is rejected here.
+    """
+    key = name.strip().lower()
+    profiles = _profiles(int(seed))
+    if key not in profiles:
+        known = ", ".join(sorted(profiles) + ["default"])
+        raise KeyError(f"unknown fault profile {name!r}; expected one of {known}")
+    return profiles[key]

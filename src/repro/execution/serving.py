@@ -40,6 +40,12 @@ from repro.execution.cluster import Cluster, Node
 from repro.execution.container import ContainerPool
 from repro.execution.events import EventLoop, RequestArrival
 from repro.execution.executor import WorkflowExecutor
+from repro.execution.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InvocationOutcome,
+)
 from repro.execution.trace import ExecutionStatus, ExecutionTrace
 from repro.utils.rng import RngStream
 from repro.workflow.dag import Workflow
@@ -123,7 +129,14 @@ class ServingOptions:
 
 @dataclass
 class ServedRequest:
-    """Outcome of one request that made it through the serving layer."""
+    """Outcome of one request that made it through the serving layer.
+
+    The resilience fields (``attempts`` onwards) are only populated by
+    fault-injecting runs; fault-free runs leave them at their zero defaults.
+    ``base_invocations`` counts the invocations a fault-free execution of
+    the same trace performs, so ``attempts / base_invocations`` is the
+    request's retry amplification.
+    """
 
     index: int
     request: RequestArrival
@@ -135,6 +148,13 @@ class ServedRequest:
     cold_start_seconds: float = 0.0
     succeeded: bool = True
     service_trace: Optional[ExecutionTrace] = None
+    attempts: int = 0
+    retries: int = 0
+    restarts: int = 0
+    base_invocations: int = 0
+    wasted_seconds: float = 0.0
+    wasted_gb_seconds: float = 0.0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def arrival_time(self) -> float:
@@ -187,6 +207,14 @@ class ServingMetrics:
     memory_utilization: Optional[float]
     peak_concurrency: int
     mean_concurrency: float
+    # -- resilience metrics (fault-injection runs; zero/identity otherwise) ----
+    goodput_rps: float = 0.0
+    availability: float = 1.0
+    retry_amplification: float = 1.0
+    wasted_seconds: float = 0.0
+    wasted_gb_seconds: float = 0.0
+    faults_injected: int = 0
+    node_failures: int = 0
 
 
 @dataclass
@@ -306,6 +334,47 @@ class _ClusterLedger:
             for node, name in placed:
                 node.remove(name)
 
+    # -- node failures ----------------------------------------------------------
+    def fail_node(self, node_name: str, now: float) -> List[int]:
+        """Take one node down and abort every request placed on it.
+
+        Every affected request loses *all* its reservations (including those
+        on healthy nodes — the request restarts from scratch), so the caller
+        must re-queue the returned request ids.  Failing an already-down
+        node is a no-op.
+        """
+        self.advance(now)
+        if self.cluster is None:
+            return []
+        node = self.cluster.node(node_name)
+        if not node.healthy:
+            return []
+        affected = sorted(
+            request_id
+            for request_id, placed in self._placements.items()
+            if any(n is node for n, _ in placed)
+        )
+        for request_id in affected:
+            for placed_node, name in self._placements.pop(request_id):
+                if placed_node is not node:
+                    placed_node.remove(name)
+            self.active -= 1
+        self.cluster.fail_node(node_name)
+        return affected
+
+    def restore_node(self, node_name: str, now: float) -> None:
+        """Bring a failed node back into the placement candidate set."""
+        self.advance(now)
+        if self.cluster is not None:
+            self.cluster.restore_node(node_name)
+
+    @property
+    def has_down_nodes(self) -> bool:
+        """Whether any node is currently failed (capacity may come back)."""
+        return self.cluster is not None and any(
+            not node.healthy for node in self.cluster.nodes
+        )
+
     # -- reporting --------------------------------------------------------------
     def utilization(self) -> Tuple[Optional[float], Optional[float], float]:
         """Time-averaged (cpu, memory, concurrency) over the observed span."""
@@ -352,6 +421,29 @@ class _Autoscaler:
             self.decisions.append((now, target))
 
 
+@dataclass
+class _RequestCarry:
+    """Counters one request accumulates across node-failure incarnations.
+
+    A node failure aborts the in-flight request and re-queues it; the fresh
+    launch must keep billing, retry and wasted-work totals from the aborted
+    incarnation, so they live here rather than in per-launch state.
+    """
+
+    attempts: int = 0
+    retries: int = 0
+    restarts: int = 0
+    wasted_seconds: float = 0.0
+    wasted_gb_seconds: float = 0.0
+    extra_cost: float = 0.0
+    cold_count: int = 0
+    cold_seconds: float = 0.0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    def count_fault(self, kind: FaultKind) -> None:
+        self.fault_counts[kind.value] = self.fault_counts.get(kind.value, 0) + 1
+
+
 class ServingSimulator:
     """Serve a request stream against finite cluster and warm-pool capacity.
 
@@ -377,6 +469,12 @@ class ServingSimulator:
         End-to-end latency objective used for SLO-attainment reporting.
     options:
         Queueing / cold-start / autoscaling knobs.
+    faults:
+        Optional :class:`~repro.execution.faults.FaultPlan` perturbing the
+        run (crashes, OOM/timeout kills, stragglers, node failures,
+        retries).  ``None`` — or an *empty* plan — leaves the unperturbed
+        code path untouched, so such runs are byte-identical to pre-fault
+        behaviour.
     """
 
     def __init__(
@@ -388,6 +486,7 @@ class ServingSimulator:
         container_pool: Optional[ContainerPool] = None,
         slo: Optional[SLO] = None,
         options: Optional[ServingOptions] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if executor.options.simulate_cold_starts:
             raise ValueError(
@@ -403,6 +502,7 @@ class ServingSimulator:
         )
         self.slo = slo
         self.options = options if options is not None else ServingOptions()
+        self.faults = faults
         # The workflow is fixed for the simulator's lifetime: resolve the
         # per-function cold-start latencies, topological order and adjacency
         # once instead of on the per-request hot path.
@@ -549,6 +649,263 @@ class ServingSimulator:
         for name in roots:
             loop.schedule(dispatch_time, run_function(name, dispatch_time))
 
+    # -- fault-injecting service replay --------------------------------------------
+    def _launch_faulty(
+        self,
+        loop: EventLoop,
+        injector: FaultInjector,
+        index: int,
+        request: RequestArrival,
+        configuration: WorkflowConfiguration,
+        dispatch_time: float,
+        rng: Optional[RngStream],
+        on_complete: Callable[[ServedRequest], None],
+        register_abort: Callable[[int, Callable[[float], None]], None],
+        carry: _RequestCarry,
+    ) -> None:
+        """Replay one request's service trace with fault injection.
+
+        Mirrors :meth:`_launch`, with three additions: every invocation
+        attempt asks the injector for its fate (clean completion, straggler
+        slowdown, or a crash/OOM/timeout kill), killed attempts are retried
+        under the plan's :class:`~repro.execution.faults.RetryPolicy` (a
+        retry that exhausts its budget fails the function terminally and
+        skips its dependents), and the whole launch can be *aborted* by a
+        node failure — partial work is billed and counted as waste, and the
+        caller re-queues the request with its accumulated ``carry``.
+        """
+        trace = self.backend.evaluate(
+            self.workflow,
+            configuration,
+            input_scale=request.input_scale,
+            rng=rng,
+        )
+        pool = self.container_pool if self.options.simulate_cold_starts else None
+        pricing = self.executor.pricing
+        records = trace.records
+        incarnation = carry.restarts
+        base_invocations = sum(
+            1 for r in records.values() if r.status is not ExecutionStatus.SKIPPED
+        )
+        finish: Dict[str, float] = {}
+        waiting = {
+            name: sum(1 for p in self._predecessors[name] if p in records)
+            for name in self._topo_order
+            if name in records
+        }
+        state = {
+            "dead": False,
+            "remaining": len(waiting),
+            "completion": dispatch_time,
+        }
+        # Attempts currently in flight (with or without a container) and the
+        # work of attempts already completed — both needed to account an
+        # abort, and billing happens at settle/abort time only, so the same
+        # attempt can never be charged twice.
+        running: Dict[str, Tuple[Optional[object], float, object]] = {}
+        done_work: List[Tuple[float, float, object]] = []  # (elapsed, base_cost, config)
+        failed: set = set()
+
+        def complete_request() -> None:
+            # A terminally failed request is billed only for the work that
+            # actually ran (completed attempts' base costs live in
+            # ``done_work``, killed attempts in ``carry.extra_cost``); the
+            # functions its failure skipped never execute, so the trace's
+            # full base cost would overcharge it.
+            if failed:
+                base_cost = sum(cost for _, cost, _ in done_work)
+            else:
+                base_cost = trace.total_cost
+            outcome = ServedRequest(
+                index=index,
+                request=request,
+                configuration=configuration,
+                dispatch_time=dispatch_time,
+                completion_time=state["completion"],
+                cost=base_cost + carry.extra_cost,
+                cold_start_count=carry.cold_count,
+                cold_start_seconds=carry.cold_seconds,
+                succeeded=trace.succeeded and not failed,
+                service_trace=trace,
+                attempts=carry.attempts,
+                retries=carry.retries,
+                restarts=carry.restarts,
+                base_invocations=base_invocations,
+                wasted_seconds=carry.wasted_seconds,
+                wasted_gb_seconds=carry.wasted_gb_seconds,
+                fault_counts=dict(carry.fault_counts),
+            )
+            loop.schedule(
+                state["completion"],
+                lambda: None if state["dead"] else on_complete(outcome),
+            )
+
+        def finish_function(name: str, end: float) -> None:
+            finish[name] = end
+            state["completion"] = max(state["completion"], end)
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                complete_request()
+                return
+            for successor in self._successors[name]:
+                if successor not in waiting:
+                    continue
+                waiting[successor] -= 1
+                if waiting[successor] == 0:
+                    start = max(
+                        finish[p] for p in self._predecessors[successor] if p in finish
+                    )
+                    loop.schedule(start, start_function(successor, start, 1))
+
+        def settle_completed(
+            name: str, end: float, outcome: InvocationOutcome, record,
+            release_container: bool = True,
+        ) -> Callable[[], None]:
+            def fire() -> None:
+                if state["dead"]:
+                    return
+                entry = running.pop(name, None)
+                if entry is not None and entry[0] is not None and pool is not None:
+                    if release_container:
+                        pool.release(entry[0], end)
+                    # else: the attempt killed its own container (config OOM);
+                    # it is never returned, exactly as in the fault-free path.
+                if outcome.fault is FaultKind.STRAGGLER:
+                    carry.count_fault(FaultKind.STRAGGLER)
+                # Bill the cold start and any straggler stretch on top of the
+                # trace's own (base-runtime) cost.
+                carry.extra_cost += pricing.invocation_cost(
+                    outcome.elapsed_seconds, record.config
+                ) - pricing.invocation_cost(record.runtime_seconds, record.config)
+                done_work.append((outcome.elapsed_seconds, record.cost, record.config))
+                finish_function(name, end)
+
+            return fire
+
+        def settle_killed(
+            name: str, end: float, attempt: int, outcome: InvocationOutcome, record
+        ) -> Callable[[], None]:
+            def fire() -> None:
+                if state["dead"]:
+                    return
+                entry = running.pop(name, None)
+                if entry is not None and entry[0] is not None and pool is not None:
+                    pool.kill(entry[0])
+                # The killed attempt is billed in full and is pure waste; the
+                # trace's base cost is only charged by the attempt that
+                # eventually completes.
+                carry.count_fault(outcome.fault)
+                carry.extra_cost += pricing.invocation_cost(
+                    outcome.elapsed_seconds, record.config
+                )
+                carry.wasted_seconds += outcome.elapsed_seconds
+                carry.wasted_gb_seconds += (
+                    record.config.memory_mb / 1024.0 * outcome.elapsed_seconds
+                )
+                delay = injector.backoff_seconds(index, name, attempt, incarnation)
+                if delay is None:
+                    # Retry budget exhausted: terminal failure.  Dependents
+                    # are skipped, sibling branches run to completion.
+                    failed.add(name)
+                    finish_function(name, end)
+                    return
+                carry.retries += 1
+                retry_at = end + delay
+                loop.schedule(retry_at, start_function(name, retry_at, attempt + 1))
+
+            return fire
+
+        def start_function(name: str, start: float, attempt: int) -> Callable[[], None]:
+            def fire() -> None:
+                if state["dead"]:
+                    return
+                record = records[name]
+                if record.status is ExecutionStatus.SKIPPED:
+                    finish_function(name, start)
+                    return
+                if any(p in failed for p in self._predecessors[name]):
+                    # Upstream terminal (injected) failure: skip this work too.
+                    failed.add(name)
+                    finish_function(name, start)
+                    return
+                penalty = 0.0
+                container = None
+                if pool is not None:
+                    container, cold = pool.acquire(name, record.config, start)
+                    if cold:
+                        penalty = self._cold_latency[name]
+                        carry.cold_count += 1
+                        carry.cold_seconds += penalty
+                carry.attempts += 1
+                if record.status is ExecutionStatus.OOM:
+                    # Configuration-caused OOM: deterministic, so retrying is
+                    # pointless — mirror the fault-free path (container dies,
+                    # never released; the trace already bills and skips).
+                    oom_outcome = InvocationOutcome(
+                        fault=None,
+                        elapsed_seconds=penalty + record.runtime_seconds,
+                        completed=True,
+                    )
+                    end = start + oom_outcome.elapsed_seconds
+                    running[name] = (container, start, record.config)
+                    loop.schedule(
+                        end,
+                        settle_completed(
+                            name, end, oom_outcome, record, release_container=False
+                        ),
+                    )
+                    return
+                outcome = injector.plan_invocation(
+                    index,
+                    name,
+                    attempt,
+                    record.runtime_seconds,
+                    cold_start_seconds=penalty,
+                    incarnation=incarnation,
+                )
+                end = start + outcome.elapsed_seconds
+                # Track the attempt even without a container: an abort must
+                # account its partial work whether or not cold starts are
+                # simulated.
+                running[name] = (container, start, record.config)
+                if outcome.completed:
+                    loop.schedule(end, settle_completed(name, end, outcome, record))
+                else:
+                    loop.schedule(end, settle_killed(name, end, attempt, outcome, record))
+
+            return fire
+
+        def abort(now: float) -> None:
+            """Node failure took this request's placement: lose all work."""
+            state["dead"] = True
+            for name, (container, started_at, config) in running.items():
+                elapsed = now - started_at
+                if elapsed > 0:
+                    carry.extra_cost += pricing.invocation_cost(elapsed, config)
+                    carry.wasted_seconds += elapsed
+                    carry.wasted_gb_seconds += config.memory_mb / 1024.0 * elapsed
+                if pool is not None and container is not None:
+                    pool.kill(container)
+            running.clear()
+            for elapsed, base_cost, config in done_work:
+                # Completed work must be redone from scratch by the next
+                # incarnation, whose trace cost bills it again — so charge
+                # (and count as waste) the aborted incarnation's share here.
+                carry.extra_cost += base_cost
+                carry.wasted_seconds += elapsed
+                carry.wasted_gb_seconds += config.memory_mb / 1024.0 * elapsed
+            carry.count_fault(FaultKind.NODE_FAILURE)
+            carry.restarts += 1
+
+        register_abort(index, abort)
+
+        roots = [name for name, pending in waiting.items() if pending == 0]
+        if not roots:
+            complete_request()
+            return
+        for name in roots:
+            loop.schedule(dispatch_time, start_function(name, dispatch_time, 1))
+
     # -- the event-driven run ------------------------------------------------------
     def run(
         self,
@@ -556,6 +913,7 @@ class ServingSimulator:
         configuration_for: Callable[[RequestArrival], WorkflowConfiguration],
         rng: Optional[RngStream] = None,
         duration_seconds: Optional[float] = None,
+        fault_rng: Optional[RngStream] = None,
     ) -> ServingResult:
         """Serve the whole stream and return outcomes plus metrics.
 
@@ -574,6 +932,10 @@ class ServingSimulator:
             Nominal traffic duration used for the offered-rate metric;
             defaults to the last arrival time.  The run itself always drains:
             queued work completes past the horizon.
+        fault_rng:
+            Optional stream overriding the fault plan's own seed (the
+            default derives the schedule from ``faults.seed``, so two runs
+            of the same simulator are identical).
         """
         request_list = list(requests)
         loop = EventLoop()
@@ -587,10 +949,25 @@ class ServingSimulator:
             else None
         )
         pending_arrivals = len(request_list)
+        plan = self.faults
+        injector = (
+            FaultInjector(plan, fault_rng)
+            if plan is not None and not plan.is_empty
+            else None
+        )
+        # Fault bookkeeping: abort callbacks of in-flight launches, counters
+        # carried across node-failure incarnations, and the failure count.
+        inflight_aborts: Dict[int, Callable[[float], None]] = {}
+        carries: Dict[int, _RequestCarry] = {}
+        dispatched: Dict[int, Tuple[RequestArrival, WorkflowConfiguration]] = {}
+        node_failure_count = 0
 
         def finish_request(outcome: ServedRequest) -> None:
             ledger.release(outcome.index, loop.now)
             outcomes.append(outcome)
+            inflight_aborts.pop(outcome.index, None)
+            carries.pop(outcome.index, None)
+            dispatched.pop(outcome.index, None)
             if autoscaler is not None:
                 autoscaler.observe_service(outcome.service_seconds)
             try_dispatch()
@@ -601,19 +978,32 @@ class ServingSimulator:
             while queue:
                 index, request, configuration = queue[0]
                 if not ledger.try_reserve(index, configuration, loop.now):
-                    if ledger.active == 0:
+                    if ledger.active == 0 and not ledger.has_down_nodes:
                         # Fits on no node even with the cluster empty: it can
                         # never be served, so drop it instead of deadlocking
-                        # the queue.
+                        # the queue.  (With a node down, wait for recovery
+                        # instead — the capacity may come back.)
                         queue.popleft()
                         rejected.append(request)
                         continue
                     break
                 queue.popleft()
                 request_rng = rng.child("request", index) if rng is not None else None
-                self._launch(
-                    loop, index, request, configuration, loop.now, request_rng,
-                    finish_request,
+                if injector is None:
+                    self._launch(
+                        loop, index, request, configuration, loop.now, request_rng,
+                        finish_request,
+                    )
+                    continue
+                carry = carries.get(index)
+                if carry is None:
+                    carry = _RequestCarry()
+                    carries[index] = carry
+                dispatched[index] = (request, configuration)
+                self._launch_faulty(
+                    loop, injector, index, request, configuration, loop.now,
+                    request_rng, finish_request,
+                    lambda i, fn: inflight_aborts.__setitem__(i, fn), carry,
                 )
 
         def arrive(index: int, request: RequestArrival) -> Callable[[], None]:
@@ -639,6 +1029,44 @@ class ServingSimulator:
         for index, request in enumerate(request_list):
             loop.schedule(request.arrival_time, arrive(index, request))
 
+        if duration_seconds is None:
+            duration_seconds = max((r.arrival_time for r in request_list), default=0.0)
+
+        if injector is not None and self.cluster is not None:
+
+            def node_failure(node_name: str) -> Callable[[], None]:
+                def fire() -> None:
+                    nonlocal node_failure_count
+                    if not self.cluster.node(node_name).healthy:
+                        return  # struck while already down
+                    affected = ledger.fail_node(node_name, loop.now)
+                    node_failure_count += 1
+                    loop.schedule_after(
+                        plan.node_recovery_seconds, lambda: recover(node_name)
+                    )
+                    # Abort every in-flight request that lost its placement
+                    # and re-queue it at the front (it was admitted first);
+                    # reversed() keeps the original index order at the head.
+                    for request_id in reversed(affected):
+                        abort_fn = inflight_aborts.pop(request_id, None)
+                        if abort_fn is None:
+                            continue
+                        abort_fn(loop.now)
+                        victim_request, victim_config = dispatched.pop(request_id)
+                        queue.appendleft((request_id, victim_request, victim_config))
+                    try_dispatch()
+
+                return fire
+
+            def recover(node_name: str) -> None:
+                ledger.restore_node(node_name, loop.now)
+                try_dispatch()
+
+            for failure_time, node_name in injector.node_failure_schedule(
+                duration_seconds, [node.name for node in self.cluster.nodes]
+            ):
+                loop.schedule(failure_time, node_failure(node_name))
+
         if autoscaler is not None:
 
             def autoscale_tick() -> None:
@@ -653,10 +1081,9 @@ class ServingSimulator:
         loop.run()
         ledger.advance(loop.now)
         outcomes.sort(key=lambda o: o.index)
-        if duration_seconds is None:
-            duration_seconds = max((r.arrival_time for r in request_list), default=0.0)
         metrics = self._summarize(
-            outcomes, rejected, ledger, duration_seconds, len(request_list)
+            outcomes, rejected, ledger, duration_seconds, len(request_list),
+            node_failures=node_failure_count,
         )
         return ServingResult(
             outcomes=outcomes,
@@ -673,6 +1100,7 @@ class ServingSimulator:
         ledger: _ClusterLedger,
         duration_seconds: float,
         offered: int,
+        node_failures: int = 0,
     ) -> ServingMetrics:
         latencies = [o.latency_seconds for o in outcomes]
         queueing = [o.queueing_delay for o in outcomes]
@@ -684,6 +1112,9 @@ class ServingSimulator:
         if slo_limit is not None and completed:
             attainment = sum(1 for l in latencies if l <= slo_limit) / completed
         cpu_util, mem_util, mean_concurrency = ledger.utilization()
+        successes = sum(1 for o in outcomes if o.succeeded)
+        total_attempts = sum(o.attempts for o in outcomes)
+        total_base = sum(o.base_invocations for o in outcomes)
         return ServingMetrics(
             duration_seconds=duration_seconds,
             offered=offered,
@@ -715,4 +1146,15 @@ class ServingSimulator:
             memory_utilization=mem_util,
             peak_concurrency=ledger.peak_active,
             mean_concurrency=mean_concurrency,
+            goodput_rps=successes / makespan if makespan > 0 else 0.0,
+            availability=successes / offered if offered else 1.0,
+            retry_amplification=(
+                total_attempts / total_base if total_base else 1.0
+            ),
+            wasted_seconds=sum(o.wasted_seconds for o in outcomes),
+            wasted_gb_seconds=sum(o.wasted_gb_seconds for o in outcomes),
+            faults_injected=sum(
+                sum(o.fault_counts.values()) for o in outcomes
+            ),
+            node_failures=node_failures,
         )

@@ -465,6 +465,7 @@ class VectorizedBackend(EvaluationBackend):
         stats.cold_starts = pool.cold_starts
         stats.warm_hits = pool.warm_hits
         stats.evictions = pool.evictions
+        stats.fault_kills = pool.fault_kills
         return stats
 
     @property

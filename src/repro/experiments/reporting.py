@@ -15,7 +15,7 @@ from repro.experiments.input_aware_experiment import InputAwareComparison
 from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
 from repro.experiments.optimal_experiment import OptimalConfigurationStats
 from repro.experiments.search_experiment import SearchComparison
-from repro.experiments.serving_experiment import ServingReport
+from repro.experiments.serving_experiment import ScenarioMatrixReport, ServingReport
 from repro.utils.tables import Table, format_series
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "render_input_aware",
     "render_backend_stats",
     "render_serving_report",
+    "render_scenario_matrix",
 ]
 
 
@@ -194,6 +195,19 @@ def render_serving_report(report: ServingReport) -> str:
         f"  cost per request:    {metrics.mean_cost_per_request:.2f} "
         f"(total {metrics.total_cost:.1f})"
     )
+    if report.fault_description:
+        lines.append(f"  faults:              {report.fault_description}")
+        lines.append(
+            f"  resilience:          goodput {metrics.goodput_rps:.4f} req/s, "
+            f"availability {metrics.availability * 100:.1f}%, "
+            f"retry amplification {metrics.retry_amplification:.3f}x"
+        )
+        lines.append(
+            f"  wasted work:         {metrics.wasted_seconds:.1f}s "
+            f"({metrics.wasted_gb_seconds:.1f} GB-s) over "
+            f"{metrics.faults_injected} injected faults, "
+            f"{metrics.node_failures} node failures"
+        )
     if metrics.cpu_utilization is not None and metrics.memory_utilization is not None:
         lines.append(
             f"  cluster utilization: cpu {metrics.cpu_utilization * 100:.1f}%, "
@@ -225,6 +239,58 @@ def render_serving_report(report: ServingReport) -> str:
         lines.append(f"  search samples:      {report.search_samples}")
     lines.append(f"  backend:             {report.backend_stats.describe()}")
     lines.append(f"                       [{report.backend_description}]")
+    return "\n".join(lines)
+
+
+def render_scenario_matrix(matrix: ScenarioMatrixReport) -> str:
+    """Render the resilience scenario matrix as one comparative table.
+
+    One row per scenario: volume (offered/completed/rejected/failed),
+    goodput vs throughput, availability, retry amplification, tail latency,
+    cost per request and wasted work — followed by a headline comparison of
+    the crash/retry scenario against the fault-free baseline.
+    """
+    table = Table(
+        [
+            "scenario", "offered", "completed", "rejected", "failed",
+            "goodput_rps", "availability", "retry_amp", "p99_s",
+            "cost_per_req", "wasted_gb_s", "node_fails",
+        ],
+        precision=3,
+        title=(
+            f"resilience scenario matrix — {matrix.workload} "
+            f"(seed {matrix.seed})"
+        ),
+    )
+    for spec in matrix.scenarios:
+        metrics = matrix.reports[spec.name].metrics
+        table.add_row(
+            spec.name,
+            metrics.offered,
+            metrics.completed,
+            metrics.rejected,
+            metrics.failed,
+            metrics.goodput_rps,
+            f"{metrics.availability * 100:.1f}%",
+            metrics.retry_amplification,
+            metrics.latency_p99_seconds,
+            metrics.mean_cost_per_request,
+            metrics.wasted_gb_seconds,
+            metrics.node_failures,
+        )
+    lines = [table.render()]
+    for spec in matrix.scenarios:
+        lines.append(f"  {spec.name}: {spec.description}")
+    if "baseline" in matrix.reports and "crash-retry" in matrix.reports:
+        base = matrix.reports["baseline"].metrics
+        crash = matrix.reports["crash-retry"].metrics
+        lines.append(
+            "  crash-retry vs baseline: "
+            f"p99 {crash.latency_p99_seconds:.2f}s vs {base.latency_p99_seconds:.2f}s, "
+            f"cost/request {crash.mean_cost_per_request:.2f} vs "
+            f"{base.mean_cost_per_request:.2f}, "
+            f"retry amplification {crash.retry_amplification:.3f}x"
+        )
     return "\n".join(lines)
 
 

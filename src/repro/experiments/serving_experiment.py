@@ -14,13 +14,20 @@ per request and cluster utilization.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.input_aware import InputAwareEngine
 from repro.execution.backend import BackendStats, build_backend
 from repro.execution.cluster import Cluster
 from repro.execution.events import RequestArrival
+from repro.execution.faults import (
+    ExponentialBackoffRetry,
+    FaultPlan,
+    FixedRetry,
+    get_fault_profile,
+)
 from repro.execution.serving import (
     AutoscalerOptions,
     ServingMetrics,
@@ -34,7 +41,17 @@ from repro.workflow.resources import WorkflowConfiguration
 from repro.workloads.inputs import input_class_rules
 from repro.workloads.registry import get_workload
 
-__all__ = ["ServingSettings", "ServingReport", "run_serving_experiment"]
+__all__ = [
+    "ServingSettings",
+    "ServingReport",
+    "run_serving_experiment",
+    "resolve_fault_plan",
+    "ScenarioSpec",
+    "ScenarioMatrixReport",
+    "build_scenario_matrix",
+    "run_scenario_matrix",
+    "SCENARIO_NAMES",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +93,11 @@ class ServingSettings:
     slo_scale:
         Stretch (>1) or tighten (<1) the workload SLO for attainment
         reporting.
+    faults:
+        Fault injection: a named profile (``"crashes"``, ``"node-storm"``,
+        ..., or ``"default"`` for the workload's own profile), an explicit
+        :class:`~repro.execution.faults.FaultPlan`, or ``None`` for a clean
+        run.  Named profiles take their schedule seed from ``seed``.
     """
 
     method: str = "AARC"
@@ -95,6 +117,7 @@ class ServingSettings:
     noise_cv: float = 0.0
     queue_capacity: Optional[int] = None
     slo_scale: float = 1.0
+    faults: Optional[Union[str, FaultPlan]] = None
 
 
 @dataclass
@@ -115,6 +138,8 @@ class ServingReport:
     dispatch_counts: Dict[str, int] = field(default_factory=dict)
     autoscaler_decisions: List[Tuple[float, int]] = field(default_factory=list)
     result: Optional[ServingResult] = None
+    fault_description: str = ""
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _prepare_dispatcher(workload, settings: ServingSettings):
@@ -158,6 +183,30 @@ def _prepare_dispatcher(workload, settings: ServingSettings):
     return fixed, result.sample_count, None
 
 
+def resolve_fault_plan(
+    faults: Optional[Union[str, FaultPlan]], workload, seed: int
+) -> Optional[FaultPlan]:
+    """Turn a settings-level fault spec into a concrete plan.
+
+    Named profiles are rooted at ``seed``; ``"default"`` resolves to the
+    workload's own profile (also re-rooted), and ``"none"``/empty plans
+    resolve to ``None`` so the serving layer keeps its unperturbed path.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        plan = faults
+    else:
+        key = faults.strip().lower()
+        if key == "default":
+            if workload.faults is None:
+                return None
+            plan = workload.faults.with_seed(seed)
+        else:
+            plan = get_fault_profile(key, seed=seed)
+    return None if plan.is_empty else plan
+
+
 def run_serving_experiment(
     workload_name: str = "video-analysis",
     settings: Optional[ServingSettings] = None,
@@ -165,6 +214,7 @@ def run_serving_experiment(
     """Run one serving experiment end to end and return its report."""
     settings = settings if settings is not None else ServingSettings()
     workload = get_workload(workload_name)
+    fault_plan = resolve_fault_plan(settings.faults, workload, settings.seed)
 
     dispatcher, search_samples, engine = _prepare_dispatcher(workload, settings)
 
@@ -209,6 +259,7 @@ def run_serving_experiment(
             autoscale=settings.autoscale,
             autoscaler=settings.autoscaler,
         ),
+        faults=fault_plan,
     )
     result = simulator.run(
         requests, dispatcher, rng=serve_rng, duration_seconds=settings.duration_seconds
@@ -244,6 +295,8 @@ def run_serving_experiment(
         dispatch_counts=dispatch_counts,
         autoscaler_decisions=result.autoscaler_decisions,
         result=result,
+        fault_description=fault_plan.describe() if fault_plan is not None else "",
+        fault_plan=fault_plan,
     )
 
 
@@ -257,3 +310,186 @@ def simulator_probe_latency(workload, dispatcher, input_class, executor) -> floa
         workload.workflow, configuration, input_scale=input_class.scale
     )
     return trace.end_to_end_latency
+
+
+# -- scenario matrix --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cell of the resilience scenario matrix."""
+
+    name: str
+    description: str
+    settings: ServingSettings
+
+
+@dataclass
+class ScenarioMatrixReport:
+    """Serving reports of every scenario in one matrix run."""
+
+    workload: str
+    seed: int
+    scenarios: List[ScenarioSpec]
+    reports: Dict[str, "ServingReport"]
+
+    def report(self, name: str) -> "ServingReport":
+        """Look up one scenario's report."""
+        return self.reports[name]
+
+
+#: Names of the built-in scenario matrix, in run order.
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "baseline",
+    "crash-retry",
+    "bursty-crashes",
+    "node-failure-storm",
+    "straggler-heavy",
+    "timeout-tight",
+    "oom-transient",
+    "autoscale-under-faults",
+    "overload-loss",
+)
+
+
+def build_scenario_matrix(
+    workload_name: str = "chatbot",
+    seed: int = 717,
+    duration_seconds: float = 200.0,
+    method: str = "base",
+    nodes: int = 4,
+    rate_rps: float = 0.15,
+) -> List[ScenarioSpec]:
+    """Build the named scenario matrix for one workload.
+
+    Every scenario shares the traffic seed, duration, cluster size and
+    configuration source, so differences in the report are attributable to
+    the perturbation alone; ``baseline`` and ``crash-retry`` also share the
+    *same* arrival process, making them directly comparable (the acceptance
+    property: crashes push p99 and cost/request strictly above the fault-free
+    baseline).  The ``timeout-tight`` budget is derived from the workload's
+    own base-configuration trace — generous enough for clean runs, tight
+    enough to kill stragglers.
+    """
+    workload = get_workload(workload_name)
+    base = ServingSettings(
+        method=method,
+        arrival="constant",
+        rate_rps=rate_rps,
+        duration_seconds=duration_seconds,
+        seed=seed,
+        nodes=nodes,
+    )
+
+    # Per-function budget for the timeout scenario: clean invocations (cold
+    # start included) fit, straggler-stretched ones do not.
+    executor = workload.build_executor()
+    probe = executor.execute(workload.workflow, workload.base_configuration())
+    max_runtime = max(r.runtime_seconds for r in probe.records.values())
+    max_cold = max(
+        executor.cold_start_latency(spec.profile_name)
+        for spec in workload.workflow.functions
+    )
+    tight_budget = 1.5 * max_runtime + max_cold
+
+    def derive(**overrides) -> ServingSettings:
+        return dataclasses.replace(base, **overrides)
+
+    crashes = get_fault_profile("crashes", seed=seed)
+    return [
+        ScenarioSpec(
+            "baseline",
+            "fault-free reference under the shared traffic",
+            base,
+        ),
+        ScenarioSpec(
+            "crash-retry",
+            "per-invocation crashes, exponential-backoff retries",
+            derive(faults=crashes),
+        ),
+        ScenarioSpec(
+            "bursty-crashes",
+            "bursty arrivals stacked on the crash/retry profile",
+            derive(arrival="bursty", faults=crashes),
+        ),
+        ScenarioSpec(
+            "node-failure-storm",
+            "whole-node failures; in-flight requests re-placed",
+            derive(faults=get_fault_profile("node-storm", seed=seed)),
+        ),
+        ScenarioSpec(
+            "straggler-heavy",
+            "frequent slowdowns stretch the tail without killing work",
+            derive(faults=get_fault_profile("stragglers", seed=seed)),
+        ),
+        ScenarioSpec(
+            "timeout-tight",
+            "per-function timeout budget that catches stragglers",
+            derive(
+                faults=FaultPlan(
+                    straggler_probability=0.15,
+                    straggler_slowdown=4.0,
+                    timeout_seconds=tight_budget,
+                    retry=FixedRetry(max_attempts=3, delay_seconds=0.5),
+                    seed=seed,
+                )
+            ),
+        ),
+        ScenarioSpec(
+            "oom-transient",
+            "transient OOM kills cleared by flat retries",
+            derive(faults=get_fault_profile("oom", seed=seed)),
+        ),
+        ScenarioSpec(
+            "autoscale-under-faults",
+            "reactive warm-pool autoscaling while crashes burn containers",
+            derive(autoscale=True, faults=crashes),
+        ),
+        ScenarioSpec(
+            "overload-loss",
+            "bounded admission queue sheds load while crashes amplify work",
+            derive(
+                queue_capacity=4,
+                faults=FaultPlan(
+                    crash_probability=0.2,
+                    retry=ExponentialBackoffRetry(max_attempts=4, base_delay_seconds=0.5),
+                    seed=seed,
+                ),
+            ),
+        ),
+    ]
+
+
+def run_scenario_matrix(
+    workload_name: str = "chatbot",
+    seed: int = 717,
+    duration_seconds: float = 200.0,
+    method: str = "base",
+    nodes: int = 4,
+    rate_rps: float = 0.15,
+    scenarios: Optional[List[ScenarioSpec]] = None,
+) -> ScenarioMatrixReport:
+    """Run every scenario of the matrix and collect the reports.
+
+    Deterministic end to end: the traffic, fault schedules and (if any)
+    search phase all derive from ``seed``.
+    """
+    specs = (
+        scenarios
+        if scenarios is not None
+        else build_scenario_matrix(
+            workload_name,
+            seed=seed,
+            duration_seconds=duration_seconds,
+            method=method,
+            nodes=nodes,
+            rate_rps=rate_rps,
+        )
+    )
+    reports = {
+        spec.name: run_serving_experiment(workload_name, spec.settings)
+        for spec in specs
+    }
+    return ScenarioMatrixReport(
+        workload=workload_name, seed=seed, scenarios=specs, reports=reports
+    )

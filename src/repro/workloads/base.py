@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from repro.execution.backend import EvaluationBackend, build_backend
 from repro.execution.executor import ExecutorOptions, WorkflowExecutor
+from repro.execution.faults import FaultPlan
 from repro.perfmodel.analytic import FunctionProfile
 from repro.workloads.arrivals import TrafficModel, TrafficProfile
 from repro.workloads.inputs import InputClass
@@ -50,6 +51,10 @@ class WorkloadSpec:
     traffic:
         Default traffic profile for serving experiments (arrival process,
         rate, class mix); the `serve` CLI overrides it per run.
+    faults:
+        Default fault profile of the workload (what ``serve
+        --faults default`` injects); ``None`` means the workload has no
+        characteristic failure mode and ``default`` degrades to no faults.
     """
 
     name: str
@@ -63,6 +68,7 @@ class WorkloadSpec:
     pricing: PricingModel = field(default_factory=lambda: PAPER_PRICING)
     input_classes: Optional[List[InputClass]] = None
     traffic: TrafficProfile = field(default_factory=TrafficProfile)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         profile_names = {profile.name for profile in self.profiles}

@@ -16,6 +16,7 @@ from repro.perfmodel.analytic import FunctionProfile
 from repro.perfmodel.profiles import io_bound_profile
 from repro.workflow.dag import FunctionSpec, Workflow
 from repro.workflow.resources import ResourceConfig
+from repro.execution.faults import ExponentialBackoffRetry, FaultPlan
 from repro.workflow.slo import SLO
 from repro.workloads.arrivals import TrafficProfile
 from repro.workloads.base import WorkloadSpec
@@ -122,4 +123,10 @@ def chatbot_workload() -> WorkloadSpec:
         default_input_scale=1.0,
         # Interactive traffic: day/night cycle around a few requests/second.
         traffic=TrafficProfile(arrival="diurnal", rate_rps=2.0, amplitude=0.6),
+        # Interactive chains fail on flaky downstream calls: occasional
+        # mid-invocation crashes, retried with backoff.
+        faults=FaultPlan(
+            crash_probability=0.05,
+            retry=ExponentialBackoffRetry(max_attempts=3, base_delay_seconds=0.25),
+        ),
     )

@@ -12,6 +12,7 @@ reduction observation).
 
 from __future__ import annotations
 
+from repro.execution.faults import FaultPlan, FixedRetry
 from repro.perfmodel.analytic import FunctionProfile
 from repro.perfmodel.profiles import io_bound_profile
 from repro.workflow.dag import FunctionSpec, Workflow
@@ -95,4 +96,10 @@ def ml_pipeline_workload() -> WorkloadSpec:
         default_input_scale=1.0,
         # Batch retraining jobs: long calm stretches with bursts of submissions.
         traffic=TrafficProfile(arrival="bursty", rate_rps=0.2, burst_multiplier=6.0),
+        # Memory-hungry training stages suffer transient OOM kills under
+        # co-location pressure; a flat retry usually clears them.
+        faults=FaultPlan(
+            oom_probability=0.08,
+            retry=FixedRetry(max_attempts=3, delay_seconds=2.0),
+        ),
     )

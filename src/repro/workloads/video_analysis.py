@@ -11,6 +11,7 @@ what the Input-Aware Configuration Engine study (Fig. 8) exercises.
 
 from __future__ import annotations
 
+from repro.execution.faults import ExponentialBackoffRetry, FaultPlan
 from repro.perfmodel.analytic import FunctionProfile
 from repro.perfmodel.profiles import io_bound_profile
 from repro.workflow.dag import FunctionSpec, Workflow
@@ -122,5 +123,13 @@ def video_analysis_workload() -> WorkloadSpec:
             arrival="poisson",
             rate_rps=0.05,
             class_weights={"light": 0.5, "middle": 0.3, "heavy": 0.2},
+        ),
+        # Frame extraction over large inputs both crashes and straggles
+        # (codec corner cases, slow storage reads).
+        faults=FaultPlan(
+            crash_probability=0.04,
+            straggler_probability=0.08,
+            straggler_slowdown=3.0,
+            retry=ExponentialBackoffRetry(max_attempts=3, base_delay_seconds=0.5),
         ),
     )

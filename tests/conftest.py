@@ -27,6 +27,59 @@ from repro.pricing.model import PAPER_PRICING  # noqa: E402
 from repro.workflow.dag import FunctionSpec, Workflow  # noqa: E402
 from repro.workflow.resources import ResourceConfig, WorkflowConfiguration  # noqa: E402
 from repro.workflow.slo import SLO  # noqa: E402
+from repro.workloads.registry import get_workload  # noqa: E402
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/data/golden/*.json from the current behaviour "
+        "instead of comparing against it",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    """Whether golden-trace tests should rewrite their fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture(scope="session")
+def golden_dir() -> str:
+    """Directory holding the golden-trace regression fixtures."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "data", "golden")
+
+
+# -- session-scoped workload / registry fixtures ---------------------------------
+# Building a workload spec re-derives every function profile; tests that only
+# *read* the spec (most of them) can share one instance per session instead of
+# rebuilding it per test.  Tests that mutate a spec must build their own.
+
+
+@pytest.fixture(scope="session")
+def chatbot_spec():
+    """Shared (read-only) chatbot workload specification."""
+    return get_workload("chatbot")
+
+
+@pytest.fixture(scope="session")
+def ml_pipeline_spec():
+    """Shared (read-only) ml-pipeline workload specification."""
+    return get_workload("ml-pipeline")
+
+
+@pytest.fixture(scope="session")
+def video_analysis_spec():
+    """Shared (read-only) video-analysis workload specification."""
+    return get_workload("video-analysis")
+
+
+@pytest.fixture(scope="session")
+def chatbot_model_registry(chatbot_spec) -> PerformanceModelRegistry:
+    """Shared noise-free performance-model registry for the chatbot."""
+    return chatbot_spec.build_registry()
 
 
 @pytest.fixture

@@ -1,0 +1,221 @@
+"""Unit tests for the fault-injection subsystem."""
+
+import pytest
+
+from repro.execution.cluster import Cluster
+from repro.execution.container import ContainerPool
+from repro.execution.faults import (
+    FAULT_PROFILE_NAMES,
+    ExponentialBackoffRetry,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FixedRetry,
+    NoRetry,
+    get_fault_profile,
+)
+from repro.workflow.resources import ResourceConfig
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan.none().is_empty
+        assert FaultPlan().is_empty
+
+    def test_any_fault_source_makes_it_non_empty(self):
+        assert not FaultPlan(crash_probability=0.1).is_empty
+        assert not FaultPlan(oom_probability=0.1).is_empty
+        assert not FaultPlan(straggler_probability=0.1).is_empty
+        assert not FaultPlan(timeout_seconds=10.0).is_empty
+        assert not FaultPlan(timeout_overrides={"split": 5.0}).is_empty
+        assert not FaultPlan(node_failures_per_hour=1.0).is_empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_probability=0.6, oom_probability=0.6)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_fraction_range=(0.9, 0.1))
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(node_failures_per_hour=-1.0)
+
+    def test_timeout_overrides_take_precedence(self):
+        plan = FaultPlan(timeout_seconds=30.0, timeout_overrides={"train": 5.0})
+        assert plan.timeout_for("train") == 5.0
+        assert plan.timeout_for("split") == 30.0
+
+    def test_with_seed_reroots_the_schedule(self):
+        plan = FaultPlan(crash_probability=0.3, seed=1)
+        assert plan.with_seed(2).seed == 2
+        assert plan.with_seed(2).crash_probability == 0.3
+
+    def test_describe_lists_active_sources(self):
+        text = FaultPlan(
+            crash_probability=0.1,
+            node_failures_per_hour=10.0,
+            retry=FixedRetry(max_attempts=3),
+        ).describe()
+        assert "crash" in text and "node failures" in text and "retry" in text
+        assert FaultPlan.none().describe() == "no faults"
+
+
+class TestRetryPolicies:
+    def test_no_retry(self):
+        assert NoRetry().backoff_seconds(1) is None
+
+    def test_fixed_retry_delay_and_budget(self):
+        policy = FixedRetry(max_attempts=3, delay_seconds=2.0)
+        assert policy.backoff_seconds(1) == 2.0
+        assert policy.backoff_seconds(2) == 2.0
+        assert policy.backoff_seconds(3) is None
+
+    def test_exponential_backoff_grows_and_caps(self):
+        policy = ExponentialBackoffRetry(
+            max_attempts=10, base_delay_seconds=1.0, multiplier=2.0,
+            max_delay_seconds=5.0, jitter=0.0,
+        )
+        assert policy.backoff_seconds(1) == 1.0
+        assert policy.backoff_seconds(2) == 2.0
+        assert policy.backoff_seconds(3) == 4.0
+        assert policy.backoff_seconds(4) == 5.0  # capped
+
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRetry(max_attempts=0)
+        with pytest.raises(ValueError):
+            ExponentialBackoffRetry(multiplier=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoffRetry(jitter=1.5)
+
+
+class TestFaultInjector:
+    def test_clean_plan_never_faults(self):
+        injector = FaultInjector(FaultPlan.none())
+        outcome = injector.plan_invocation(0, "f", 1, runtime_seconds=3.0)
+        assert outcome.completed and outcome.fault is None
+        assert outcome.elapsed_seconds == 3.0
+
+    def test_certain_crash_is_partial(self):
+        plan = FaultPlan(
+            crash_probability=1.0, crash_fraction_range=(0.25, 0.25), seed=3
+        )
+        outcome = FaultInjector(plan).plan_invocation(0, "f", 1, runtime_seconds=8.0)
+        assert outcome.killed and outcome.fault is FaultKind.CRASH
+        assert outcome.elapsed_seconds == pytest.approx(2.0)
+
+    def test_straggler_completes_slowly(self):
+        plan = FaultPlan(straggler_probability=1.0, straggler_slowdown=3.0, seed=3)
+        outcome = FaultInjector(plan).plan_invocation(0, "f", 1, runtime_seconds=4.0)
+        assert outcome.completed and outcome.fault is FaultKind.STRAGGLER
+        assert outcome.elapsed_seconds == pytest.approx(12.0)
+
+    def test_timeout_kills_first(self):
+        plan = FaultPlan(timeout_seconds=2.5, seed=3)
+        outcome = FaultInjector(plan).plan_invocation(0, "f", 1, runtime_seconds=10.0)
+        assert outcome.fault is FaultKind.TIMEOUT
+        assert outcome.elapsed_seconds == 2.5
+
+    def test_timeout_counts_cold_start(self):
+        plan = FaultPlan(timeout_seconds=5.0, seed=3)
+        ok = FaultInjector(plan).plan_invocation(
+            0, "f", 1, runtime_seconds=3.0, cold_start_seconds=1.0
+        )
+        assert ok.completed
+        killed = FaultInjector(plan).plan_invocation(
+            0, "f", 1, runtime_seconds=3.0, cold_start_seconds=2.5
+        )
+        assert killed.fault is FaultKind.TIMEOUT
+
+    def test_incarnations_draw_fresh_schedules(self):
+        plan = FaultPlan(crash_probability=0.5, seed=11)
+        injector = FaultInjector(plan)
+        outcomes = {
+            incarnation: injector.plan_invocation(
+                0, "f", 1, runtime_seconds=5.0, incarnation=incarnation
+            )
+            for incarnation in range(6)
+        }
+        # Not all incarnations can share one fate at p=0.5 over 6 draws
+        # (this is deterministic for the pinned seed).
+        assert len({o.killed for o in outcomes.values()}) == 2
+
+    def test_node_failure_schedule_is_sorted_and_bounded(self):
+        plan = FaultPlan(node_failures_per_hour=360.0, seed=5)
+        schedule = FaultInjector(plan).node_failure_schedule(600.0, ["a", "b"])
+        assert schedule, "a 6/min rate over 10 minutes must strike"
+        times = [t for t, _ in schedule]
+        assert times == sorted(times)
+        assert all(0 <= t < 600.0 for t in times)
+        assert all(node in {"a", "b"} for _, node in schedule)
+
+    def test_empty_node_schedule_without_rate(self):
+        assert FaultInjector(FaultPlan.none()).node_failure_schedule(600.0, ["a"]) == []
+
+
+class TestFaultProfiles:
+    def test_all_named_profiles_build(self):
+        for name in FAULT_PROFILE_NAMES:
+            if name == "default":
+                continue
+            plan = get_fault_profile(name, seed=9)
+            assert plan.seed == 9
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_fault_profile("kaboom")
+        with pytest.raises(KeyError):
+            get_fault_profile("default")  # resolved by the caller, not here
+
+
+class TestClusterNodeFailure:
+    def test_fail_node_evicts_and_blocks_placement(self):
+        cluster = Cluster.homogeneous(2, vcpu_per_node=4.0, memory_per_node_mb=4096.0)
+        node = cluster.node("node-0")
+        node.place("f#1", ResourceConfig(vcpu=2.0, memory_mb=1024.0))
+        evicted = cluster.fail_node("node-0")
+        assert evicted == ["f#1"]
+        assert not node.healthy
+        assert node.vcpu_used == 0.0 and node.memory_used_mb == 0.0
+        assert not node.can_fit(ResourceConfig(vcpu=0.5, memory_mb=128.0))
+        assert cluster.healthy_nodes == [cluster.node("node-1")]
+
+    def test_fail_twice_is_noop_and_restore_recovers(self):
+        cluster = Cluster.homogeneous(1)
+        assert cluster.fail_node("node-0") == []
+        assert cluster.fail_node("node-0") == []
+        cluster.restore_node("node-0")
+        assert cluster.node("node-0").healthy
+        assert cluster.node("node-0").can_fit(ResourceConfig(vcpu=1.0, memory_mb=256.0))
+
+    def test_reset_brings_failed_nodes_back(self):
+        cluster = Cluster.homogeneous(1)
+        cluster.fail_node("node-0")
+        cluster.reset()
+        assert cluster.node("node-0").healthy
+
+
+class TestPoolFaultKills:
+    def test_kill_counts_and_never_serves_dead_containers(self):
+        pool = ContainerPool(keep_alive_seconds=100.0)
+        config = ResourceConfig(vcpu=1.0, memory_mb=512.0)
+        container, cold = pool.acquire("f", config, 0.0)
+        assert cold
+        pool.kill(container)
+        assert pool.fault_kills == 1
+        # The killed container was checked out, so a fresh acquire is cold.
+        _, cold_again = pool.acquire("f", config, 1.0)
+        assert cold_again
+
+    def test_kill_removes_resident_container(self):
+        pool = ContainerPool(keep_alive_seconds=100.0)
+        config = ResourceConfig(vcpu=1.0, memory_mb=512.0)
+        container, _ = pool.acquire("f", config, 0.0)
+        pool.release(container, 1.0)
+        pool.kill(container)  # e.g. node failure hits a warm container
+        assert pool.fault_kills == 1
+        assert pool.warm_count("f", 1.0) == 0

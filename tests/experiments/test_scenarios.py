@@ -1,0 +1,152 @@
+"""Tests for fault-profile resolution and the resilience scenario matrix."""
+
+import pytest
+
+from repro.execution.faults import FaultPlan
+from repro.experiments.reporting import render_scenario_matrix, render_serving_report
+from repro.experiments.serving_experiment import (
+    SCENARIO_NAMES,
+    ServingSettings,
+    build_scenario_matrix,
+    resolve_fault_plan,
+    run_scenario_matrix,
+    run_serving_experiment,
+)
+
+pytestmark = pytest.mark.slow  # full serving runs per scenario
+
+
+class TestResolveFaultPlan:
+    def test_none_and_empty_resolve_to_none(self, chatbot_spec):
+        assert resolve_fault_plan(None, chatbot_spec, 1) is None
+        assert resolve_fault_plan("none", chatbot_spec, 1) is None
+        assert resolve_fault_plan(FaultPlan.none(), chatbot_spec, 1) is None
+
+    def test_named_profile_takes_the_run_seed(self, chatbot_spec):
+        plan = resolve_fault_plan("crashes", chatbot_spec, 99)
+        assert plan is not None and plan.seed == 99
+        assert plan.crash_probability > 0
+
+    def test_default_resolves_to_the_workload_profile(self, chatbot_spec):
+        plan = resolve_fault_plan("default", chatbot_spec, 42)
+        assert plan is not None
+        assert plan.seed == 42
+        assert plan.crash_probability == chatbot_spec.faults.crash_probability
+
+    def test_explicit_plan_passes_through(self, chatbot_spec):
+        explicit = FaultPlan(crash_probability=0.2, seed=7)
+        assert resolve_fault_plan(explicit, chatbot_spec, 1) is explicit
+
+
+class TestFaultedServingExperiment:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        base_settings = ServingSettings(
+            method="base", arrival="constant", rate_rps=0.4,
+            duration_seconds=60.0, nodes=2, seed=13,
+        )
+        import dataclasses
+
+        faulted_settings = dataclasses.replace(base_settings, faults="crashes")
+        return (
+            run_serving_experiment("chatbot", base_settings),
+            run_serving_experiment("chatbot", faulted_settings),
+        )
+
+    def test_faults_leave_a_mark_on_the_report(self, pair):
+        clean, faulted = pair
+        assert clean.fault_description == ""
+        assert "crash" in faulted.fault_description
+        assert faulted.metrics.faults_injected > 0
+        assert faulted.metrics.retry_amplification > 1.0
+        assert faulted.metrics.wasted_gb_seconds > 0
+        assert faulted.backend_stats.fault_kills > 0
+
+    def test_faults_degrade_tail_and_cost(self, pair):
+        clean, faulted = pair
+        assert faulted.metrics.latency_p99_seconds > clean.metrics.latency_p99_seconds
+        assert (
+            faulted.metrics.mean_cost_per_request > clean.metrics.mean_cost_per_request
+        )
+
+    def test_render_includes_resilience_block(self, pair):
+        _, faulted = pair
+        text = render_serving_report(faulted)
+        assert "faults:" in text
+        assert "retry amplification" in text
+        assert "wasted work" in text
+
+    def test_clean_report_omits_resilience_block(self, pair):
+        clean, _ = pair
+        assert "faults:" not in render_serving_report(clean)
+
+    def test_faulted_run_is_deterministic(self):
+        settings = ServingSettings(
+            method="base", arrival="poisson", rate_rps=0.3,
+            duration_seconds=40.0, nodes=2, seed=23, faults="chaos",
+        )
+        first = run_serving_experiment("chatbot", settings)
+        second = run_serving_experiment("chatbot", settings)
+        assert render_serving_report(first) == render_serving_report(second)
+
+
+class TestScenarioMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        # The acceptance setup: `repro scenarios --seed 717`, shortened for
+        # test time (scenario relationships already hold at this duration).
+        return run_scenario_matrix(
+            "chatbot", seed=717, duration_seconds=120.0, nodes=4, rate_rps=0.15
+        )
+
+    def test_matrix_covers_all_named_scenarios(self, matrix):
+        assert tuple(spec.name for spec in matrix.scenarios) == SCENARIO_NAMES
+        assert set(matrix.reports) == set(SCENARIO_NAMES)
+        assert len(SCENARIO_NAMES) >= 8
+
+    def test_crash_scenario_strictly_above_fault_free_baseline(self, matrix):
+        base = matrix.report("baseline").metrics
+        crash = matrix.report("crash-retry").metrics
+        assert crash.latency_p99_seconds > base.latency_p99_seconds
+        assert crash.mean_cost_per_request > base.mean_cost_per_request
+        assert crash.retry_amplification > 1.0
+        assert base.retry_amplification == 1.0
+
+    def test_node_storm_strikes_and_recovers(self, matrix):
+        storm = matrix.report("node-failure-storm").metrics
+        assert storm.node_failures > 0
+        assert storm.completed + storm.rejected == storm.offered
+
+    def test_overload_loss_sheds_requests(self, matrix):
+        loss = matrix.report("overload-loss").metrics
+        assert loss.rejected > 0
+        assert loss.availability < 1.0
+
+    def test_goodput_never_exceeds_throughput(self, matrix):
+        for name in SCENARIO_NAMES:
+            metrics = matrix.report(name).metrics
+            assert metrics.goodput_rps <= metrics.throughput_rps + 1e-12
+
+    def test_render_matrix_mentions_every_scenario(self, matrix):
+        text = render_scenario_matrix(matrix)
+        for name in SCENARIO_NAMES:
+            assert name in text
+        assert "crash-retry vs baseline" in text
+        assert "availability" in text
+
+    def test_matrix_is_deterministic(self):
+        kwargs = dict(
+            workload_name="chatbot", seed=717, duration_seconds=60.0,
+            nodes=4, rate_rps=0.15,
+        )
+        first = run_scenario_matrix(**kwargs)
+        second = run_scenario_matrix(**kwargs)
+        assert render_scenario_matrix(first) == render_scenario_matrix(second)
+
+    def test_build_matrix_shares_traffic_between_baseline_and_crash(self):
+        specs = {spec.name: spec for spec in build_scenario_matrix("chatbot", seed=1)}
+        base, crash = specs["baseline"].settings, specs["crash-retry"].settings
+        assert (base.arrival, base.rate_rps, base.seed) == (
+            crash.arrival, crash.rate_rps, crash.seed,
+        )
+        assert base.faults is None and crash.faults is not None

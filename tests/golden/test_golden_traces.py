@@ -1,0 +1,181 @@
+"""Golden-trace regression fixtures for end-to-end serving and search runs.
+
+Seeded runs are snapshotted to ``tests/data/golden/*.json``; these tests
+compare the current behaviour against the recorded one *exactly* (floats
+survive a JSON round-trip bit-for-bit), the way
+``tests/data/bo_seed_trajectories.json`` already locks the BO trajectories
+down.  After an intentional behaviour change, refresh the fixtures with::
+
+    pytest tests/golden --update-golden
+
+The empty-fault-plan test doubles as the fault layer's core invariant: a
+serving run with an empty :class:`~repro.execution.faults.FaultPlan` must
+reproduce the recorded fault-free traces bit-identically.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.execution.faults import FaultPlan
+from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
+from repro.experiments.serving_experiment import ServingSettings, run_serving_experiment
+from repro.workflow.serialization import configuration_to_dict
+
+SERVING_SETTINGS = ServingSettings(
+    method="base",
+    arrival="poisson",
+    rate_rps=0.4,
+    duration_seconds=90.0,
+    nodes=2,
+    seed=424242,
+)
+
+
+def serving_snapshot(faults=None):
+    """Run the pinned serving experiment and flatten it to JSON-safe data."""
+    settings = SERVING_SETTINGS
+    if faults is not None:
+        import dataclasses
+
+        settings = dataclasses.replace(settings, faults=faults)
+    report = run_serving_experiment("chatbot", settings)
+    metrics = report.metrics
+    return {
+        "workload": report.workload,
+        "traffic": report.traffic_description,
+        "requests": [
+            {
+                "index": outcome.index,
+                "arrival": outcome.arrival_time,
+                "dispatch": outcome.dispatch_time,
+                "completion": outcome.completion_time,
+                "cost": outcome.cost,
+                "cold_starts": outcome.cold_start_count,
+                "cold_start_seconds": outcome.cold_start_seconds,
+                "succeeded": outcome.succeeded,
+            }
+            for outcome in report.result.outcomes
+        ],
+        "rejected": len(report.result.rejected),
+        "metrics": {
+            "completed": metrics.completed,
+            "throughput_rps": metrics.throughput_rps,
+            "latency_p50": metrics.latency_p50_seconds,
+            "latency_p95": metrics.latency_p95_seconds,
+            "latency_p99": metrics.latency_p99_seconds,
+            "queueing_mean": metrics.queueing_mean_seconds,
+            "slo_attainment": metrics.slo_attainment,
+            "mean_cost_per_request": metrics.mean_cost_per_request,
+            "total_cost": metrics.total_cost,
+            "cold_start_invocations": metrics.cold_start_invocations,
+        },
+        "backend": {
+            "evaluations": report.backend_stats.evaluations,
+            "simulations": report.backend_stats.simulations,
+            "cache_hits": report.backend_stats.cache_hits,
+            "cache_misses": report.backend_stats.cache_misses,
+            "cold_starts": report.backend_stats.cold_starts,
+            "warm_hits": report.backend_stats.warm_hits,
+            "evictions": report.backend_stats.evictions,
+        },
+    }
+
+
+def search_snapshot():
+    """Run the pinned search experiments and flatten them to JSON-safe data."""
+    snapshot = {}
+    for method in ("AARC", "Random"):
+        settings = ExperimentSettings(seed=20260730, bo_samples=40)
+        searcher = make_searcher(method, get_chatbot(), settings)
+        objective = build_objective(get_chatbot(), settings)
+        result = searcher.search(objective)
+        snapshot[method] = {
+            "sample_count": result.sample_count,
+            "total_runtime_seconds": result.total_search_runtime_seconds,
+            "total_cost": result.total_search_cost,
+            "found_feasible": result.found_feasible,
+            "best_runtime_seconds": result.best_runtime_seconds,
+            "best_cost": result.best_cost,
+            "best_configuration": (
+                configuration_to_dict(result.best_configuration)
+                if result.found_feasible
+                else None
+            ),
+            "runtime_series": result.history.runtime_series(),
+            "cost_series": result.history.cost_series(),
+        }
+    return snapshot
+
+
+def get_chatbot():
+    from repro.workloads.registry import get_workload
+
+    return get_workload("chatbot")
+
+
+def check_golden(golden_dir: str, name: str, payload, update: bool) -> None:
+    """Compare ``payload`` against the stored fixture (or rewrite it)."""
+    path = os.path.join(golden_dir, name)
+    if update:
+        os.makedirs(golden_dir, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden fixture {name!r} is missing; generate it with "
+            "`pytest tests/golden --update-golden`"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        expected = json.load(handle)
+    # Round-trip the fresh payload through JSON so both sides carry the same
+    # types (tuples become lists, ints stay ints, floats are bit-exact).
+    actual = json.loads(json.dumps(payload))
+    assert actual == expected, (
+        f"behaviour diverged from golden fixture {name!r}; if the change is "
+        "intentional, refresh with `pytest tests/golden --update-golden`"
+    )
+
+
+class TestServingGolden:
+    def test_seeded_serving_run_matches_golden(self, golden_dir, update_golden):
+        check_golden(
+            golden_dir, "serving_chatbot.json", serving_snapshot(), update_golden
+        )
+
+    def test_empty_fault_plan_reproduces_golden_bit_identically(
+        self, golden_dir, update_golden
+    ):
+        """The fault layer's core invariant, asserted against the recording.
+
+        A run with an *empty* fault plan must be indistinguishable from the
+        recorded fault-free behaviour — never refreshed from its own output,
+        so it cannot drift along with the clean-path fixture.
+        """
+        if update_golden:
+            pytest.skip("fixture is owned by the fault-free serving test")
+        check_golden(
+            golden_dir,
+            "serving_chatbot.json",
+            serving_snapshot(faults=FaultPlan.none()),
+            update=False,
+        )
+
+    def test_faulted_serving_run_matches_golden(self, golden_dir, update_golden):
+        """The crash/retry schedule itself is pinned, not just the clean path."""
+        check_golden(
+            golden_dir,
+            "serving_chatbot_crashes.json",
+            serving_snapshot(faults="crashes"),
+            update_golden,
+        )
+
+
+class TestSearchGolden:
+    def test_seeded_search_runs_match_golden(self, golden_dir, update_golden):
+        check_golden(
+            golden_dir, "search_chatbot.json", search_snapshot(), update_golden
+        )

@@ -11,6 +11,8 @@ import pytest
 from repro.experiments.harness import ExperimentSettings, make_searcher
 from repro.workloads.registry import get_workload
 
+pytestmark = pytest.mark.slow  # full search stacks on every workload
+
 SETTINGS = ExperimentSettings(seed=17, bo_samples=40, maff_samples=60)
 
 

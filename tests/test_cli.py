@@ -150,3 +150,43 @@ class TestCommands:
              "--seed", "3"]
         ) == 0
         assert "video-analysis" in capsys.readouterr().out
+
+
+class TestFaultCommands:
+    def test_serve_faults_flag_parses(self):
+        args = build_parser().parse_args(["serve", "--faults", "crashes"])
+        assert args.faults == "crashes"
+
+    def test_serve_rejects_unknown_fault_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--faults", "gremlins"])
+
+    def test_scenarios_defaults(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.workload == "chatbot"
+        assert args.method == "base"
+        assert args.duration == 200.0
+        assert args.nodes == 4
+        assert args.rate == 0.15
+        assert args.scenarios_seed is None
+
+    def test_serve_with_faults_prints_resilience_block(self, capsys):
+        assert main(
+            ["serve", "--workload", "chatbot", "--method", "base",
+             "--arrival", "constant", "--rate", "0.5", "--duration", "40",
+             "--nodes", "2", "--seed", "7", "--faults", "crashes"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "faults:" in output
+        assert "retry amplification" in output
+        assert "wasted work" in output
+
+    def test_scenarios_runs_the_matrix(self, capsys):
+        assert main(
+            ["scenarios", "--workload", "chatbot", "--duration", "60",
+             "--rate", "0.15", "--nodes", "4", "--seed", "717"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "resilience scenario matrix" in output
+        assert "baseline" in output
+        assert "crash-retry vs baseline" in output

@@ -140,3 +140,25 @@ class TestAffinities:
         affinities = workload.affinities()
         assert affinities["extract_0"] == "memory-bound"
         assert affinities["classify"] == "memory-bound"
+
+
+class TestWorkloadFaultProfiles:
+    def test_every_benchmark_workload_has_a_characteristic_failure_mode(
+        self, chatbot_spec, ml_pipeline_spec, video_analysis_spec
+    ):
+        # The session-scoped specs are shared read-only across the suite.
+        for spec in (chatbot_spec, ml_pipeline_spec, video_analysis_spec):
+            assert spec.faults is not None
+            assert not spec.faults.is_empty
+            assert spec.faults.retry.max_attempts >= 1
+
+    def test_chatbot_profile_crashes_and_backs_off(self, chatbot_spec):
+        assert chatbot_spec.faults.crash_probability > 0
+        assert chatbot_spec.faults.retry.max_attempts > 1
+
+    def test_session_registry_models_every_workflow_function(
+        self, chatbot_spec, chatbot_model_registry
+    ):
+        for spec in chatbot_spec.workflow.functions:
+            model = chatbot_model_registry.function_model(spec.profile_name)
+            assert model is not None
