@@ -12,10 +12,14 @@ Exposes the most common operations of the library without writing Python:
 * ``repro-aarc serve --workload <workload>`` — drive a configured workflow
   through a traffic model on the event-driven serving layer and report
   throughput, tail latency, SLO attainment, cold starts and cost
-  (``--faults <profile>`` perturbs the run with the fault-injection layer).
-* ``repro-aarc scenarios`` — run the named resilience scenario matrix
-  (baseline, crashes, node-failure storm, stragglers, ...) and render a
-  comparative goodput / availability / retry-amplification table.
+  (``--faults <profile>`` perturbs the run with the fault-injection layer;
+  ``--adaptive --controller <policy>`` closes the drift → re-tune → rollout
+  loop mid-run).
+* ``repro-aarc scenarios`` — run a named scenario matrix: ``--suite
+  resilience`` (baseline, crashes, node-failure storm, stragglers, ...)
+  renders a comparative goodput / availability / retry-amplification table;
+  ``--suite drift`` runs the adaptive-vs-static drift scenarios (mix
+  shifts, flash crowd, diurnal ramp, online tuning).
 
 The ``repro`` console script is an alias of ``repro-aarc``.
 
@@ -30,8 +34,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.control.drift import DRIFT_DETECTOR_NAMES
+from repro.control.rollout import ROLLOUT_POLICY_NAMES
 from repro.execution.backend import BACKEND_NAMES
 from repro.execution.faults import FAULT_PROFILE_NAMES
+from repro.experiments.adaptive_experiment import run_drift_suite
 from repro.experiments.harness import (
     DEFAULT_METHODS,
     ExperimentSettings,
@@ -41,6 +48,7 @@ from repro.experiments.harness import (
 from repro.experiments.motivation import decoupling_heatmap
 from repro.experiments.reporting import (
     render_backend_stats,
+    render_drift_suite,
     render_heatmap,
     render_scenario_matrix,
     render_serving_report,
@@ -169,6 +177,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault profile to inject ('default' = the workload's own; "
              "omit for a clean run)",
     )
+    serve.add_argument(
+        "--backend", default="simulator", choices=list(BACKEND_NAMES),
+        help="evaluation substrate serving the request path's service "
+             "traces (all are bit-identical; the differential tests assert it)",
+    )
+    serve.add_argument(
+        "--adaptive", action="store_true",
+        help="close the drift -> re-tune -> rollout loop mid-run with the "
+             "online reconfiguration controller",
+    )
+    serve.add_argument(
+        "--controller", default="canary", choices=list(ROLLOUT_POLICY_NAMES),
+        help="rollout policy adaptive re-tunes go out through",
+    )
+    serve.add_argument(
+        "--detector", default="threshold", choices=list(DRIFT_DETECTOR_NAMES),
+        help="drift detector deciding when the controller re-tunes",
+    )
     # Top-level --seed sits before the subcommand; accept it after 'serve'
     # too (the natural place to type it) without clobbering the parent value.
     serve.add_argument(
@@ -178,7 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenarios = subparsers.add_parser(
         "scenarios",
-        help="run the resilience scenario matrix through the serving layer",
+        help="run a named scenario matrix through the serving layer",
+    )
+    scenarios.add_argument(
+        "--suite", default="resilience", choices=["resilience", "drift"],
+        help="scenario family: fault resilience or drift-aware adaptive "
+             "serving (drift ignores --workload/--method/--nodes/--rate)",
     )
     scenarios.add_argument(
         "--workload", default="chatbot",
@@ -324,6 +355,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=args.cache,
         noise_cv=args.noise,
         faults=args.faults,
+        backend=args.backend,
+        adaptive=args.adaptive,
+        detector=args.detector,
+        rollout=args.controller,
     )
     report = run_serving_experiment(args.workload, settings)
     print(render_serving_report(report))
@@ -332,6 +367,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     seed = args.scenarios_seed if args.scenarios_seed is not None else args.seed
+    if args.suite == "drift":
+        print(render_drift_suite(run_drift_suite(seed=seed)))
+        return 0
     matrix = run_scenario_matrix(
         args.workload,
         seed=seed,

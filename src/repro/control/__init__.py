@@ -1,0 +1,71 @@
+"""Online adaptive reconfiguration: monitoring, drift detection, control.
+
+This package turns the offline configuration search into a *runtime*
+component.  A :class:`~repro.control.monitor.SlidingWindowMonitor` estimates
+the live traffic (arrival rate, input mix, latency tail, SLO attainment), a
+pluggable :class:`~repro.control.drift.DriftDetector` decides when the
+traffic has drifted away from what the active configuration was tuned for,
+and the :class:`~repro.control.controller.ReconfigurationController`
+re-runs the optimizer against the observed traffic profile and rolls the
+winner out through a :class:`~repro.control.rollout.RolloutPolicy`
+(immediate, canary with automatic rollback, or drain-and-switch) — all
+seed-deterministic on the serving simulator's event loop.
+"""
+
+from repro.control.monitor import (
+    CompletionRecord,
+    SlidingWindowMonitor,
+    WindowSnapshot,
+)
+from repro.control.drift import (
+    DRIFT_DETECTOR_NAMES,
+    DriftDetector,
+    NullDriftDetector,
+    PageHinkleyDetector,
+    ScheduledDriftDetector,
+    ThresholdDriftDetector,
+    build_drift_detector,
+)
+from repro.control.rollout import (
+    ROLLOUT_POLICY_NAMES,
+    CanaryRollout,
+    DrainAndSwitchRollout,
+    ImmediateRollout,
+    RolloutDecision,
+    RolloutPolicy,
+    build_rollout_policy,
+)
+from repro.control.controller import (
+    ConfigVersionInfo,
+    ControlEvent,
+    ControlSummary,
+    ControllerOptions,
+    MixtureObjective,
+    ReconfigurationController,
+)
+
+__all__ = [
+    "CompletionRecord",
+    "SlidingWindowMonitor",
+    "WindowSnapshot",
+    "DRIFT_DETECTOR_NAMES",
+    "DriftDetector",
+    "NullDriftDetector",
+    "ThresholdDriftDetector",
+    "PageHinkleyDetector",
+    "ScheduledDriftDetector",
+    "build_drift_detector",
+    "ROLLOUT_POLICY_NAMES",
+    "RolloutDecision",
+    "RolloutPolicy",
+    "ImmediateRollout",
+    "CanaryRollout",
+    "DrainAndSwitchRollout",
+    "build_rollout_policy",
+    "ControllerOptions",
+    "ControlEvent",
+    "ConfigVersionInfo",
+    "ControlSummary",
+    "MixtureObjective",
+    "ReconfigurationController",
+]

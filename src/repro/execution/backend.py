@@ -295,17 +295,30 @@ class CachingBackend(EvaluationBackend):
         The substrate serving cache misses.
     max_entries:
         Optional LRU capacity; ``None`` keeps every entry.
+    context:
+        Optional hashable evaluation context folded into every cache key.
+        ``(workflow, configuration, input_scale)`` identifies an evaluation
+        only while everything else about it is fixed; a caller whose
+        evaluations additionally depend on ambient state — the adaptive
+        controller re-tuning against *observed* traffic phases is the
+        motivating case — sets the context to that state's signature (see
+        :meth:`set_context`) so entries recorded under one phase are never
+        replayed for another.
     """
 
     name = "caching"
 
     def __init__(
-        self, inner: EvaluationBackend, max_entries: Optional[int] = None
+        self,
+        inner: EvaluationBackend,
+        max_entries: Optional[int] = None,
+        context: Optional[Hashable] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None for unbounded)")
         self.inner = inner
         self.max_entries = max_entries
+        self._context: Optional[Hashable] = context
         self._cache: "OrderedDict[Hashable, ExecutionTrace]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -313,9 +326,25 @@ class CachingBackend(EvaluationBackend):
         self._batches_served = 0  # batches answered without touching inner
 
     # -- cache plumbing ---------------------------------------------------------
-    @staticmethod
+    @property
+    def context(self) -> Optional[Hashable]:
+        """The evaluation context currently folded into cache keys."""
+        return self._context
+
+    def set_context(self, context: Optional[Hashable]) -> None:
+        """Switch the evaluation context new lookups and insertions key on.
+
+        Entries recorded under other contexts stay cached (switching back
+        re-enables them) but are invisible to the current context, so e.g. a
+        re-tune against one traffic phase can never read entries recorded
+        under a different phase's context.  ``None`` restores the default
+        (context-free) key space.
+        """
+        with self._lock:
+            self._context = context
+
     def _key(
-        workflow: Workflow, configuration: WorkflowConfiguration, input_scale: float
+        self, workflow: Workflow, configuration: WorkflowConfiguration, input_scale: float
     ) -> Hashable:
         # Canonicalised to plain-float tuples so configurations assembled from
         # NumPy array batches (np.float64 allocations) and hand-built scalar
@@ -328,6 +357,7 @@ class CachingBackend(EvaluationBackend):
                 for name, config in sorted(configuration.items())
             ),
             float(input_scale),
+            self._context,
         )
 
     def _lookup(self, key: Hashable) -> Optional[ExecutionTrace]:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.workflow.resources import ResourceConfig
 
@@ -249,6 +249,32 @@ class ContainerPool:
         for function_name in list(self._containers):
             self._enforce_capacity(function_name)
         return self._stats.evictions - before
+
+    def retarget(self, configuration: Mapping[str, ResourceConfig]) -> int:
+        """Retire idle warm containers that a config rollout made useless.
+
+        When the serving layer switches a workflow to a new configuration
+        (adaptive re-tune promote or rollback), warm containers built for the
+        *old* per-function configurations can never serve a warm start again
+        — acquisition matches configurations exactly — yet they would sit in
+        the pool until keep-alive expiry, occupying capacity slots.  This
+        discards every idle container of the named functions whose
+        configuration differs from the new target (counted as evictions).
+        Checked-out containers are untouched: in-flight requests finish on
+        the configuration they started with.  Returns the number evicted.
+        """
+        evicted = 0
+        for function_name, target in configuration.items():
+            buckets = self._by_config.get(function_name)
+            if not buckets:
+                continue
+            for config in list(buckets):
+                if config == target:
+                    continue
+                for container in list(buckets[config].values()):
+                    self.discard(container)
+                    evicted += 1
+        return evicted
 
     def clear(self) -> None:
         """Drop all containers (used between independent experiments)."""

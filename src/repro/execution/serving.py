@@ -148,6 +148,9 @@ class ServedRequest:
     cold_start_seconds: float = 0.0
     succeeded: bool = True
     service_trace: Optional[ExecutionTrace] = None
+    #: Configuration version that served this request (0 = the initial
+    #: configuration; bumped by adaptive re-tunes).  Static runs stay at 0.
+    config_version: int = 0
     attempts: int = 0
     retries: int = 0
     restarts: int = 0
@@ -914,6 +917,7 @@ class ServingSimulator:
         rng: Optional[RngStream] = None,
         duration_seconds: Optional[float] = None,
         fault_rng: Optional[RngStream] = None,
+        controller=None,
     ) -> ServingResult:
         """Serve the whole stream and return outcomes plus metrics.
 
@@ -936,6 +940,18 @@ class ServingSimulator:
             Optional stream overriding the fault plan's own seed (the
             default derives the schedule from ``faults.seed``, so two runs
             of the same simulator are identical).
+        controller:
+            Optional :class:`~repro.control.controller.ReconfigurationController`
+            closing the monitoring → drift-detection → re-tune → rollout loop
+            *inside* this run.  When present it owns configuration selection:
+            each arrival is assigned the controller's active (or canary)
+            configuration version instead of ``configuration_for``, each
+            completion feeds the controller's monitor (and may trigger a
+            re-tune), and completed outcomes carry their ``config_version``.
+            All controller work happens inline within existing arrival and
+            completion events — no extra events are scheduled — so a
+            controller that never re-tunes (e.g. a ``NullDriftDetector``)
+            leaves the run byte-identical to a static one.
         """
         request_list = list(requests)
         loop = EventLoop()
@@ -962,14 +978,23 @@ class ServingSimulator:
         dispatched: Dict[int, Tuple[RequestArrival, WorkflowConfiguration]] = {}
         node_failure_count = 0
 
+        if controller is not None:
+            controller.bind(pool=self.container_pool)
+
         def finish_request(outcome: ServedRequest) -> None:
             ledger.release(outcome.index, loop.now)
+            if controller is not None:
+                outcome.config_version = controller.version_of(outcome.index)
             outcomes.append(outcome)
             inflight_aborts.pop(outcome.index, None)
             carries.pop(outcome.index, None)
             dispatched.pop(outcome.index, None)
             if autoscaler is not None:
                 autoscaler.observe_service(outcome.service_seconds)
+            if controller is not None:
+                # May fire drift detection, an inline re-tune and a rollout
+                # step — all in simulated-zero time within this event.
+                controller.observe_completion(loop.now, outcome)
             try_dispatch()
 
         def try_dispatch() -> None:
@@ -985,6 +1010,8 @@ class ServingSimulator:
                         # instead — the capacity may come back.)
                         queue.popleft()
                         rejected.append(request)
+                        if controller is not None:
+                            controller.observe_rejection(loop.now, index)
                         continue
                     break
                 queue.popleft()
@@ -1012,7 +1039,15 @@ class ServingSimulator:
                 pending_arrivals -= 1
                 if autoscaler is not None:
                     autoscaler.observe_arrival(loop.now)
-                queue.append((index, request, configuration_for(request)))
+                if controller is not None:
+                    # The controller assigns the configuration (active
+                    # version, or the canary during a rollout) at arrival
+                    # time; a later node-failure re-queue keeps it.
+                    controller.observe_arrival(loop.now, request)
+                    configuration = controller.assign(index, request)
+                else:
+                    configuration = configuration_for(request)
+                queue.append((index, request, configuration))
                 try_dispatch()
                 # The capacity bounds *waiting* requests: an arrival that
                 # dispatched immediately never counts against it (so
@@ -1021,8 +1056,10 @@ class ServingSimulator:
                     self.options.queue_capacity is not None
                     and len(queue) > self.options.queue_capacity
                 ):
-                    _, dropped, _ = queue.pop()
+                    dropped_index, dropped, _ = queue.pop()
                     rejected.append(dropped)
+                    if controller is not None:
+                        controller.observe_rejection(loop.now, dropped_index)
 
             return fire
 

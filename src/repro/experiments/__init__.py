@@ -12,6 +12,8 @@ Each module corresponds to one part of §II (motivation) or §IV (evaluation):
   configuration of the Video Analysis workflow).
 * :mod:`repro.experiments.serving_experiment` — tail-latency / SLO study of a
   configured workflow under a traffic model (the event-driven serving layer).
+* :mod:`repro.experiments.adaptive_experiment` — the drift scenario suite
+  comparing adaptive (closed-loop reconfiguration) against static serving.
 * :mod:`repro.experiments.reporting` — text rendering of the above.
 """
 
@@ -44,8 +46,16 @@ from repro.experiments.serving_experiment import (
     ServingSettings,
     run_serving_experiment,
 )
+from repro.experiments.adaptive_experiment import (
+    AdaptiveComparison,
+    DriftSuiteReport,
+    build_drift_scenarios,
+    run_drift_scenario,
+    run_drift_suite,
+)
 from repro.experiments.reporting import (
     render_backend_stats,
+    render_drift_suite,
     render_heatmap,
     render_input_aware,
     render_search_totals,
@@ -72,6 +82,12 @@ __all__ = [
     "ServingReport",
     "ServingSettings",
     "run_serving_experiment",
+    "AdaptiveComparison",
+    "DriftSuiteReport",
+    "build_drift_scenarios",
+    "run_drift_scenario",
+    "run_drift_suite",
+    "render_drift_suite",
     "render_heatmap",
     "render_search_totals",
     "render_trajectories",

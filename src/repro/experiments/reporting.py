@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.objective import SearchResult
+from repro.experiments.adaptive_experiment import DriftSuiteReport
 from repro.experiments.input_aware_experiment import InputAwareComparison
 from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
 from repro.experiments.optimal_experiment import OptimalConfigurationStats
@@ -28,6 +29,7 @@ __all__ = [
     "render_backend_stats",
     "render_serving_report",
     "render_scenario_matrix",
+    "render_drift_suite",
 ]
 
 
@@ -235,6 +237,21 @@ def render_serving_report(report: ServingReport) -> str:
         )
         suffix = ", ..." if len(report.autoscaler_decisions) > 8 else ""
         lines.append(f"  autoscaler:          {steps}{suffix}")
+    if report.control is not None:
+        control = report.control
+        lines.append(f"  adaptive control:    {control.describe()}")
+        per_version = ", ".join(
+            f"v{version}:{count}" for version, count in control.version_completions.items()
+        )
+        lines.append(f"  version completions: {per_version}")
+        for event in control.events[:10]:
+            lines.append(
+                f"    t={event.time:8.1f}s {event.kind:<14s} {event.detail}"
+            )
+        if len(control.events) > 10:
+            lines.append(f"    ... {len(control.events) - 10} more events")
+        if control.transition_unresolved:
+            lines.append("    (a rollout was still in progress when the run drained)")
     if report.search_samples:
         lines.append(f"  search samples:      {report.search_samples}")
     lines.append(f"  backend:             {report.backend_stats.describe()}")
@@ -291,6 +308,73 @@ def render_scenario_matrix(matrix: ScenarioMatrixReport) -> str:
             f"{base.mean_cost_per_request:.2f}, "
             f"retry amplification {crash.retry_amplification:.3f}x"
         )
+    return "\n".join(lines)
+
+
+def render_drift_suite(report: DriftSuiteReport) -> str:
+    """Render the drift scenario suite: adaptive vs static vs phase-oracle.
+
+    One row per scenario (cost/request and p99 of both strategies, the win
+    column, the oracle's per-request cost and each strategy's regret against
+    it), followed by the control timeline headline of each adaptive run.
+    """
+    table = Table(
+        [
+            "scenario", "static_cost", "adaptive_cost", "static_p99",
+            "adaptive_p99", "wins_on", "oracle_cost", "regret_static",
+            "regret_adaptive", "retunes",
+        ],
+        precision=1,
+        title=f"drift scenario suite — adaptive vs static (seed {report.seed})",
+    )
+    for spec in report.scenarios:
+        comparison = report.comparisons[spec.name]
+        control = comparison.adaptive.control
+        if comparison.wins_cost and comparison.wins_p99:
+            wins = "cost+p99"
+        elif comparison.wins_cost:
+            wins = "cost"
+        elif comparison.wins_p99:
+            wins = "p99"
+        else:
+            wins = "-"
+        oracle = comparison.oracle_cost_per_request
+        table.add_row(
+            spec.name,
+            comparison.static_cost,
+            comparison.adaptive_cost,
+            comparison.static_p99,
+            comparison.adaptive_p99,
+            wins,
+            oracle if oracle is not None else float("nan"),
+            comparison.regret_per_request("static")
+            if oracle is not None
+            else float("nan"),
+            comparison.regret_per_request("adaptive")
+            if oracle is not None
+            else float("nan"),
+            control.retunes if control is not None else 0,
+        )
+    lines = [table.render()]
+    lines.append(
+        f"  adaptive beats static on cost/request or p99 in "
+        f"{report.win_count}/{len(report.scenarios)} scenarios"
+    )
+    for spec in report.scenarios:
+        comparison = report.comparisons[spec.name]
+        lines.append(f"  {spec.name}: {spec.description}")
+        control = comparison.adaptive.control
+        if control is not None:
+            lines.append(f"    control: {control.describe()}")
+        for impact in comparison.retune_impacts:
+            lines.append(
+                f"      t={impact.time:8.1f}s {impact.kind} (v{impact.version}): "
+                f"cost/request {impact.before_mean_cost:.1f} -> "
+                f"{impact.after_mean_cost:.1f}, "
+                f"p99 {impact.before_p99_seconds:.1f}s -> "
+                f"{impact.after_p99_seconds:.1f}s "
+                f"({impact.before_completed} -> {impact.after_completed} requests)"
+            )
     return "\n".join(lines)
 
 

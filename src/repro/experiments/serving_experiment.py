@@ -16,8 +16,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.control.controller import (
+    ControlSummary,
+    ControllerOptions,
+    ReconfigurationController,
+)
+from repro.control.drift import build_drift_detector
+from repro.control.rollout import build_rollout_policy
 from repro.core.input_aware import InputAwareEngine
 from repro.execution.backend import BackendStats, build_backend
 from repro.execution.cluster import Cluster
@@ -38,6 +45,7 @@ from repro.execution.serving import (
 from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
 from repro.utils.rng import RngStream
 from repro.workflow.resources import WorkflowConfiguration
+from repro.workloads.arrivals import DriftingTrafficModel, TrafficPhase
 from repro.workloads.inputs import input_class_rules
 from repro.workloads.registry import get_workload
 
@@ -98,6 +106,32 @@ class ServingSettings:
         ..., or ``"default"`` for the workload's own profile), an explicit
         :class:`~repro.execution.faults.FaultPlan`, or ``None`` for a clean
         run.  Named profiles take their schedule seed from ``seed``.
+    backend:
+        Evaluation substrate serving the request path's service traces
+        (``"simulator"``, ``"parallel"`` or ``"vectorized"`` — all
+        bit-identical; the differential test tier asserts it).
+    configuration:
+        Explicit initial configuration; when given, ``method`` is skipped
+        entirely (no search phase).
+    phases:
+        Drifting traffic: a sequence of
+        :class:`~repro.workloads.arrivals.TrafficPhase` entries replaces the
+        workload's stationary traffic profile (``arrival``/``rate_rps``
+        overrides are ignored).
+    adaptive:
+        Serve with the online
+        :class:`~repro.control.controller.ReconfigurationController` closing
+        the drift → re-tune → rollout loop mid-run.
+    detector / detector_options:
+        Drift detector name (see
+        :data:`~repro.control.drift.DRIFT_DETECTOR_NAMES`) and its knobs.
+    rollout / rollout_options:
+        Rollout policy name (see
+        :data:`~repro.control.rollout.ROLLOUT_POLICY_NAMES`) and its knobs.
+    controller:
+        Controller tunables (window, cooldown, re-tune budget, ...).
+        ``None`` derives a monitor window and cooldown from the run's
+        duration so the loop can close at any traffic rate.
     """
 
     method: str = "AARC"
@@ -118,6 +152,15 @@ class ServingSettings:
     queue_capacity: Optional[int] = None
     slo_scale: float = 1.0
     faults: Optional[Union[str, FaultPlan]] = None
+    backend: str = "simulator"
+    configuration: Optional[WorkflowConfiguration] = None
+    phases: Optional[Tuple[TrafficPhase, ...]] = None
+    adaptive: bool = False
+    detector: str = "threshold"
+    detector_options: Optional[Mapping[str, object]] = None
+    rollout: str = "canary"
+    rollout_options: Optional[Mapping[str, object]] = None
+    controller: Optional[ControllerOptions] = None
 
 
 @dataclass
@@ -140,18 +183,31 @@ class ServingReport:
     result: Optional[ServingResult] = None
     fault_description: str = ""
     fault_plan: Optional[FaultPlan] = None
+    control: Optional[ControlSummary] = None
+    initial_configuration: Optional[WorkflowConfiguration] = None
 
 
 def _prepare_dispatcher(workload, settings: ServingSettings):
-    """Build the per-arrival configuration callback and count search samples."""
+    """Build the per-arrival configuration callback and count search samples.
+
+    Returns ``(dispatcher, search_samples, engine, fixed_configuration)``;
+    ``fixed_configuration`` is ``None`` only for input-aware dispatch (which
+    has one configuration per class rather than one).
+    """
     search_settings = ExperimentSettings(seed=settings.seed)
+    if settings.configuration is not None:
+
+        def explicit(_request) -> WorkflowConfiguration:
+            return settings.configuration
+
+        return explicit, 0, None, settings.configuration
     if settings.method.strip().lower() == "base":
         configuration = workload.base_configuration()
 
         def fixed(_request) -> WorkflowConfiguration:
             return configuration
 
-        return fixed, 0, None
+        return fixed, 0, None, configuration
     searcher = make_searcher(settings.method, workload, search_settings)
     if settings.input_aware:
         if not workload.input_classes:
@@ -168,7 +224,7 @@ def _prepare_dispatcher(workload, settings: ServingSettings):
         )
         results = engine.prepare()
         samples = sum(result.sample_count for result in results.values())
-        return engine.dispatcher(), samples, engine
+        return engine.dispatcher(), samples, engine, None
     objective = build_objective(workload, search_settings)
     result = searcher.search(objective)
     configuration = (
@@ -180,7 +236,7 @@ def _prepare_dispatcher(workload, settings: ServingSettings):
     def fixed(_request) -> WorkflowConfiguration:
         return configuration
 
-    return fixed, result.sample_count, None
+    return fixed, result.sample_count, None, configuration
 
 
 def resolve_fault_plan(
@@ -216,7 +272,9 @@ def run_serving_experiment(
     workload = get_workload(workload_name)
     fault_plan = resolve_fault_plan(settings.faults, workload, settings.seed)
 
-    dispatcher, search_samples, engine = _prepare_dispatcher(workload, settings)
+    dispatcher, search_samples, engine, fixed_configuration = _prepare_dispatcher(
+        workload, settings
+    )
 
     noise = None
     serve_rng = None
@@ -230,7 +288,7 @@ def run_serving_experiment(
     executor.container_pool.max_containers_per_function = int(
         settings.max_containers_per_function
     )
-    backend = build_backend(executor, cache=settings.cache)
+    backend = build_backend(executor, name=settings.backend, cache=settings.cache)
 
     cluster = (
         Cluster.homogeneous(
@@ -243,10 +301,55 @@ def run_serving_experiment(
     )
     slo = workload.slo.scaled(settings.slo_scale) if settings.slo_scale != 1.0 else workload.slo
 
-    traffic = workload.traffic_model(arrival=settings.arrival, rate_rps=settings.rate_rps)
+    if settings.phases is not None:
+        traffic = DriftingTrafficModel(
+            list(settings.phases), classes=workload.input_classes
+        )
+    else:
+        traffic = workload.traffic_model(
+            arrival=settings.arrival, rate_rps=settings.rate_rps
+        )
     requests = traffic.generate(
         settings.duration_seconds, RngStream(settings.seed, f"traffic/{workload.name}")
     )
+
+    controller = None
+    if settings.adaptive:
+        if settings.input_aware:
+            raise ValueError(
+                "adaptive serving drives one configuration at a time; "
+                "it cannot be combined with input-aware dispatch"
+            )
+        # Re-tune sweeps run on their own vectorized + caching stack, with
+        # the cache keyed per observed traffic phase by the controller.
+        retune_backend = build_backend(
+            workload.build_executor(), name="vectorized", cache=True
+        )
+        controller_options = settings.controller
+        if controller_options is None:
+            # Scale the monitor window and cooldown with the run so the
+            # loop can close regardless of the traffic rate.
+            window = min(900.0, max(60.0, settings.duration_seconds / 5.0))
+            controller_options = ControllerOptions(
+                window_seconds=window,
+                min_window_completions=5,
+                min_retune_interval_seconds=window / 2.0,
+            )
+        controller = ReconfigurationController(
+            workflow=workload.workflow,
+            slo=slo,
+            initial_configuration=fixed_configuration,
+            detector=build_drift_detector(
+                settings.detector, **dict(settings.detector_options or {})
+            ),
+            rollout=build_rollout_policy(
+                settings.rollout, **dict(settings.rollout_options or {})
+            ),
+            backend=retune_backend,
+            options=controller_options,
+            seed=settings.seed,
+            base_config=workload.base_config,
+        )
 
     simulator = ServingSimulator(
         workflow=workload.workflow,
@@ -262,7 +365,11 @@ def run_serving_experiment(
         faults=fault_plan,
     )
     result = simulator.run(
-        requests, dispatcher, rng=serve_rng, duration_seconds=settings.duration_seconds
+        requests,
+        dispatcher,
+        rng=serve_rng,
+        duration_seconds=settings.duration_seconds,
+        controller=controller,
     )
     # Snapshot before the probes below also exercise the dispatcher.
     dispatch_counts = dict(engine.dispatch_counts()) if engine is not None else {}
@@ -297,6 +404,8 @@ def run_serving_experiment(
         result=result,
         fault_description=fault_plan.describe() if fault_plan is not None else "",
         fault_plan=fault_plan,
+        control=controller.summary() if controller is not None else None,
+        initial_configuration=fixed_configuration,
     )
 
 

@@ -14,7 +14,11 @@ from repro.optimizers.acquisition import (
     LowerConfidenceBound,
     ProbabilityOfImprovement,
 )
-from repro.optimizers.bayesian import BayesianOptimizer, BayesianOptimizerOptions
+from repro.optimizers.bayesian import (
+    BayesianOptimizer,
+    BayesianOptimizerOptions,
+    SurrogateState,
+)
 from repro.optimizers.maff import MAFFOptimizer, MAFFOptions
 from repro.optimizers.random_search import RandomSearchOptimizer, RandomSearchOptions
 from repro.optimizers.grid import GridSearchOptimizer, GridSearchOptions
@@ -29,6 +33,7 @@ __all__ = [
     "LowerConfidenceBound",
     "BayesianOptimizer",
     "BayesianOptimizerOptions",
+    "SurrogateState",
     "MAFFOptimizer",
     "MAFFOptions",
     "RandomSearchOptimizer",

@@ -11,7 +11,7 @@ the motivation experiment (Fig. 3) and the comparison figures reproduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -28,7 +28,43 @@ from repro.optimizers.gp import GaussianProcessRegressor, Matern52Kernel
 from repro.utils.rng import RngStream
 from repro.workflow.resources import WorkflowConfiguration
 
-__all__ = ["BayesianOptimizerOptions", "BayesianOptimizer"]
+__all__ = ["BayesianOptimizerOptions", "BayesianOptimizer", "SurrogateState"]
+
+
+@dataclass
+class SurrogateState:
+    """A live GP surrogate carried across successive searches.
+
+    The adaptive reconfiguration controller re-runs the optimizer every time
+    traffic drifts; refitting a surrogate from scratch each time would both
+    waste the observations already paid for and cost O(n³) per re-tune.  A
+    ``SurrogateState`` owns the surrogate model plus the encoded observation
+    history; passing it to :meth:`BayesianOptimizer.search` warm-starts the
+    search (the initial design is skipped, new observations extend the model
+    through the incremental O(n²) Cholesky
+    :meth:`~repro.optimizers.gp.GaussianProcessRegressor.update`) and the
+    state is updated in place for the next re-tune.
+
+    Observations recorded under earlier traffic phases keep informing the
+    surrogate as a prior over the cost surface; fresh observations under the
+    current phase's objective correct it where the phases disagree.
+    """
+
+    model: Optional["GaussianProcessRegressor"] = None
+    observed_x: List[np.ndarray] = field(default_factory=list)
+    observed_y: List[float] = field(default_factory=list)
+
+    @property
+    def observation_count(self) -> int:
+        """Observations accumulated across all searches so far."""
+        return len(self.observed_y)
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether a fitted surrogate and observations are available."""
+        return (
+            self.model is not None and self.model.is_fitted and bool(self.observed_y)
+        )
 
 
 @dataclass(frozen=True)
@@ -106,42 +142,84 @@ class BayesianOptimizer(ConfigurationSearcher):
         self.acquisition = acquisition if acquisition is not None else ExpectedImprovement()
 
     # -- search -----------------------------------------------------------------
-    def search(self, objective: WorkflowObjective) -> SearchResult:
-        """Run the Bayesian optimisation loop against an objective."""
+    def search(
+        self,
+        objective: WorkflowObjective,
+        state: Optional[SurrogateState] = None,
+    ) -> SearchResult:
+        """Run the Bayesian optimisation loop against an objective.
+
+        Parameters
+        ----------
+        objective:
+            The objective to optimise (its ``max_samples`` bounds the run).
+        state:
+            Optional :class:`SurrogateState` warm-starting the search from a
+            surrogate fitted by earlier searches.  When warm, the initial
+            design is skipped entirely — every evaluation in this run's
+            budget is acquisition-guided — and the state's model and
+            observation lists are extended in place, so successive re-tunes
+            keep one live surrogate instead of refitting from scratch.
+        """
         function_names = objective.function_names
         rng = RngStream(self.options.seed, f"bo/{objective.workflow.name}")
         budget = self._budget(objective)
+        # ``budget`` is how many evaluations *this* search may perform; the
+        # objective may already carry samples (e.g. the controller evaluates
+        # the incumbent first), so the loop targets the cumulative count.
+        target = objective.sample_count + budget
 
-        observed_x: List[np.ndarray] = []
-        observed_y: List[float] = []
+        observed_x = state.observed_x if state is not None else []
+        observed_y = state.observed_y if state is not None else []
+        warm = state is not None and state.is_warm
+        model: Optional[GaussianProcessRegressor] = state.model if warm else None
         best: Optional[EvaluationResult] = None
+        # Warm-start observations were recorded under *earlier* objectives
+        # (other traffic mixtures, other effective SLOs); they inform the
+        # surrogate but must not define the acquisition incumbent — a stale,
+        # unattainably low best would flatten EI over every candidate of the
+        # current objective.  Only y-values observed by *this* search count.
+        session_start = len(observed_y)
 
-        # The initial design has no sequential dependency, so it is submitted
-        # as one batch (parallel backends fan it out, caches serve repeats).
-        initial_design: List[WorkflowConfiguration] = []
-        n_initial = min(self.options.n_initial_samples, budget)
-        if self.options.include_generous_initial and budget > 0:
-            initial_design.append(
-                WorkflowConfiguration.uniform(function_names, self.config_space.max_config())
+        if not warm:
+            # The initial design has no sequential dependency, so it is
+            # submitted as one batch (parallel backends fan it out, caches
+            # serve repeats).
+            initial_design: List[WorkflowConfiguration] = []
+            n_initial = min(self.options.n_initial_samples, budget)
+            if self.options.include_generous_initial and budget > 0:
+                initial_design.append(
+                    WorkflowConfiguration.uniform(function_names, self.config_space.max_config())
+                )
+                n_initial = max(0, min(n_initial, budget - 1))
+            initial_design.extend(
+                self.config_space.random_configuration(function_names, rng.child("init", index))
+                for index in range(n_initial)
             )
-            n_initial = max(0, min(n_initial, budget - 1))
-        initial_design.extend(
-            self.config_space.random_configuration(function_names, rng.child("init", index))
-            for index in range(n_initial)
-        )
-        for result in objective.evaluate_batch(initial_design, phase="bo-init"):
-            best = self._record_observation(
-                objective, result, observed_x, observed_y, best
-            )
+            for result in objective.evaluate_batch(initial_design, phase="bo-init"):
+                best = self._record_observation(
+                    objective, result, observed_x, observed_y, best
+                )
 
         round_index = 0
-        model: Optional[GaussianProcessRegressor] = None
-        while objective.sample_count < budget:
+        while objective.sample_count < target:
             if model is None or not self.options.surrogate_updates:
                 # Full refit: O(n³) in the observation count.
                 model = self._fit_surrogate(observed_x, observed_y)
             candidates = self._candidate_matrix(len(function_names), rng.child("cand", round_index))
-            scores = self.acquisition.score(model, candidates, best_observed=min(observed_y))
+            session_y = observed_y[session_start:]
+            if session_y:
+                incumbent = min(session_y)
+            else:
+                # First warm round: no current-objective observation exists
+                # yet, and the stale minimum may be unattainably low under
+                # this objective (flattening EI to noise).  The surrogate's
+                # own best posterior mean over the candidates is the most
+                # informative incumbent available.
+                incumbent = float(
+                    np.min(model.predict(candidates, return_std=False)[0])
+                )
+            scores = self.acquisition.score(model, candidates, best_observed=incumbent)
             chosen = candidates[int(np.argmax(scores))]
             configuration = self.config_space.decode(chosen, function_names)
             best = self._observe(
@@ -152,6 +230,13 @@ class BayesianOptimizer(ConfigurationSearcher):
                 # an O(n²) incremental Cholesky update instead of refitting.
                 model.update(observed_x[-1][None, :], [observed_y[-1]])
             round_index += 1
+
+        if state is not None:
+            if model is None and observed_y:
+                # The budget was consumed by the initial design alone; fit
+                # the surrogate anyway so the *next* search starts warm.
+                model = self._fit_surrogate(observed_x, observed_y)
+            state.model = model
 
         return objective.make_result(self.name, best)
 

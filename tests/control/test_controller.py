@@ -1,0 +1,362 @@
+"""Unit tests for the reconfiguration controller and the mixture objective."""
+
+import pytest
+
+from repro.control.controller import (
+    ControllerOptions,
+    MixtureObjective,
+    ReconfigurationController,
+)
+from repro.control.drift import NullDriftDetector, ScheduledDriftDetector
+from repro.control.rollout import CanaryRollout, ImmediateRollout
+from repro.execution.backend import CachingBackend, SimulatorBackend
+from repro.execution.events import RequestArrival
+from repro.execution.serving import ServedRequest
+from repro.workflow.resources import ResourceConfig
+
+
+@pytest.fixture
+def retune_backend(diamond_executor):
+    return CachingBackend(SimulatorBackend(diamond_executor))
+
+
+def make_controller(
+    diamond_workflow,
+    diamond_slo,
+    diamond_base_configuration,
+    backend,
+    detector=None,
+    rollout=None,
+    options=None,
+):
+    return ReconfigurationController(
+        workflow=diamond_workflow,
+        slo=diamond_slo,
+        initial_configuration=diamond_base_configuration,
+        detector=detector if detector is not None else NullDriftDetector(),
+        rollout=rollout if rollout is not None else ImmediateRollout(),
+        backend=backend,
+        options=options,
+        seed=7,
+        base_config=ResourceConfig(vcpu=4.0, memory_mb=2048.0),
+    )
+
+
+def feed(controller, index, now, latency=10.0, cost=50.0):
+    """Assign one request and immediately complete it ``latency`` later."""
+    request = RequestArrival(arrival_time=now, input_scale=1.0)
+    controller.observe_arrival(now, request)
+    configuration = controller.assign(index, request)
+    outcome = ServedRequest(
+        index=index,
+        request=request,
+        configuration=configuration,
+        dispatch_time=now,
+        completion_time=now + latency,
+        cost=cost,
+        config_version=controller.version_of(index),
+    )
+    controller.observe_completion(now + latency, outcome)
+    return outcome
+
+
+class TestAssignment:
+    def test_initial_assignment_is_version_zero(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+        )
+        request = RequestArrival(arrival_time=0.0)
+        configuration = controller.assign(0, request)
+        assert configuration is diamond_base_configuration
+        assert controller.version_of(0) == 0
+        assert controller.active_version == 0
+
+    def test_null_detector_never_retunes(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            options=ControllerOptions(
+                window_seconds=50.0,
+                min_window_completions=1,
+                min_retune_interval_seconds=0.0,
+            ),
+        )
+        for index in range(20):
+            feed(controller, index, float(index * 5))
+        assert controller.retunes == 0
+        assert controller.timeline == []
+        assert controller.active_configuration is diamond_base_configuration
+
+
+class TestRetuneLoop:
+    def options(self):
+        return ControllerOptions(
+            window_seconds=100.0,
+            min_window_completions=3,
+            min_retune_interval_seconds=10.0,
+        )
+
+    def test_scheduled_retune_promotes_a_cheaper_config(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=30.0),
+            rollout=ImmediateRollout(),
+            options=self.options(),
+        )
+        for index in range(8):
+            feed(controller, index, float(index * 10))
+        assert controller.retunes >= 1
+        assert controller.promotions >= 1
+        assert controller.active_version > 0
+        # The promoted configuration is strictly cheaper on the observed mix
+        # than the over-provisioned initial one.
+        objective = MixtureObjective(
+            diamond_workflow, diamond_slo, [(1.0, 1.0)], retune_backend
+        )
+        promoted = objective.evaluate(controller.active_configuration)
+        initial = objective.evaluate(diamond_base_configuration)
+        assert promoted.feasible
+        assert promoted.cost < initial.cost
+        kinds = [event.kind for event in controller.timeline]
+        assert "drift" in kinds and "retune" in kinds and "promote" in kinds
+
+    def test_retune_sets_cache_context_to_phase_signature(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=30.0),
+            options=self.options(),
+        )
+        assert retune_backend.context is None
+        for index in range(8):
+            feed(controller, index, float(index * 10))
+        assert controller.retunes >= 1
+        assert retune_backend.context is not None
+        assert retune_backend.context[0] == "phase"
+
+    def test_second_retune_is_a_noop_when_nothing_changed(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=30.0),
+            options=self.options(),
+        )
+        for index in range(30):
+            feed(controller, index, float(index * 10))
+        assert controller.promotions == 1
+        assert any(e.kind == "retune-noop" for e in controller.timeline)
+
+    def test_bo_retune_warm_starts_the_live_surrogate(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=30.0),
+            options=ControllerOptions(
+                window_seconds=200.0,
+                min_window_completions=3,
+                min_retune_interval_seconds=10.0,
+                retune_method="BO",
+                retune_samples=12,
+            ),
+        )
+        assert not controller.surrogate.is_warm
+        for index in range(30):
+            feed(controller, index, float(index * 10))
+        assert controller.retunes >= 2
+        # The live surrogate accumulated every re-tune's observations and
+        # is carried (fitted) into the next re-tune.
+        assert controller.surrogate.is_warm
+        assert controller.surrogate.observation_count >= 12
+
+    def test_max_retunes_caps_the_loop(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=10.0),
+            options=ControllerOptions(
+                window_seconds=100.0,
+                min_window_completions=1,
+                min_retune_interval_seconds=0.0,
+                max_retunes=1,
+            ),
+        )
+        for index in range(30):
+            feed(controller, index, float(index * 10))
+        assert controller.retunes == 1
+
+
+class TestRejections:
+    def test_rejection_resolves_a_drain_transition(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        from repro.control.rollout import DrainAndSwitchRollout
+
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=30.0),
+            rollout=DrainAndSwitchRollout(),
+            options=ControllerOptions(
+                window_seconds=200.0,
+                min_window_completions=3,
+                min_retune_interval_seconds=10.0,
+            ),
+        )
+        # One request is assigned but never completes (it will be rejected).
+        ghost = RequestArrival(arrival_time=0.0)
+        controller.observe_arrival(0.0, ghost)
+        controller.assign(999, ghost)
+        index = 0
+        while not controller.in_transition and index < 20:
+            feed(controller, index, float(index * 10))
+            index += 1
+        assert controller.in_transition  # drain waits on the ghost request
+        controller.observe_rejection(500.0, 999)
+        assert not controller.in_transition
+        assert controller.promotions == 1
+        assert controller.active_version > 0
+
+
+class TestCanaryAndRollback:
+    def test_canary_transition_routes_and_rolls_back_exactly(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        controller = make_controller(
+            diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend,
+            detector=ScheduledDriftDetector(interval_seconds=30.0),
+            # Canary completions miss the (already-met-by-stable) SLO below,
+            # so the decision is a rollback.
+            rollout=CanaryRollout(
+                fraction=0.5, evaluation_requests=2, min_stable=1
+            ),
+            options=ControllerOptions(
+                window_seconds=200.0,
+                min_window_completions=3,
+                min_retune_interval_seconds=10.0,
+            ),
+        )
+        index = 0
+        # Warm up until the re-tune starts a canary transition.
+        while not controller.in_transition and index < 20:
+            feed(controller, index, float(index * 10))
+            index += 1
+        assert controller.in_transition
+        # During the transition both versions receive traffic.
+        versions = set()
+        probe_start = index
+        for probe in range(6):
+            request = RequestArrival(arrival_time=float(1000 + probe))
+            controller.observe_arrival(float(1000 + probe), request)
+            controller.assign(probe_start + probe, request)
+            versions.add(controller.version_of(probe_start + probe))
+        assert versions == {0, controller.versions[-1].version}
+        # Canary completions miss the SLO terribly -> rollback.
+        new_version = controller.versions[-1].version
+        decision_index = probe_start + 10
+        for k in range(4):
+            idx = decision_index + k
+            request = RequestArrival(arrival_time=2000.0 + k)
+            controller.observe_arrival(2000.0 + k, request)
+            controller.assign(idx, request)
+            version = controller.version_of(idx)
+            latency = 500.0 if version == new_version else 5.0
+            outcome = ServedRequest(
+                index=idx,
+                request=request,
+                configuration=controller.versions[version].configuration,
+                dispatch_time=2000.0 + k,
+                completion_time=2000.0 + k + latency,
+                cost=10.0,
+                config_version=version,
+            )
+            controller.observe_completion(2000.0 + k + latency, outcome)
+            if not controller.in_transition:
+                break
+        assert not controller.in_transition
+        assert controller.rollbacks == 1
+        # The rollback restores the *exact* prior configuration object.
+        assert controller.active_configuration is diamond_base_configuration
+        assert controller.versions[new_version].rejected
+
+
+class TestMixtureObjective:
+    def test_weighted_combination_matches_direct_evaluations(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        objective = MixtureObjective(
+            diamond_workflow,
+            diamond_slo,
+            [(0.5, 0.25), (1.0, 0.75)],
+            retune_backend,
+        )
+        result = objective.evaluate(diamond_base_configuration)
+        light = retune_backend.evaluate(
+            diamond_workflow, diamond_base_configuration, input_scale=0.5
+        )
+        standard = retune_backend.evaluate(
+            diamond_workflow, diamond_base_configuration, input_scale=1.0
+        )
+        assert result.cost == pytest.approx(
+            0.25 * light.total_cost + 0.75 * standard.total_cost
+        )
+        assert result.runtime_seconds == pytest.approx(
+            0.25 * light.end_to_end_latency + 0.75 * standard.end_to_end_latency
+        )
+        # The dominant component (weight 0.75) supplies the recorded trace.
+        assert result.trace.end_to_end_latency == standard.end_to_end_latency
+
+    def test_batch_equals_sequential(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        mixture = [(0.5, 0.5), (1.0, 0.5)]
+        seq = MixtureObjective(diamond_workflow, diamond_slo, mixture, retune_backend)
+        batch = MixtureObjective(diamond_workflow, diamond_slo, mixture, retune_backend)
+        configs = [diamond_base_configuration] * 3
+        sequential = [seq.evaluate(c) for c in configs]
+        batched = batch.evaluate_batch(configs)
+        for a, b in zip(sequential, batched):
+            assert a.cost == b.cost
+            assert a.runtime_seconds == b.runtime_seconds
+            assert a.feasible == b.feasible
+
+    def test_weights_normalise_and_validate(
+        self, diamond_workflow, diamond_slo, retune_backend
+    ):
+        objective = MixtureObjective(
+            diamond_workflow, diamond_slo, [(1.0, 2.0), (0.5, 2.0)], retune_backend
+        )
+        assert objective.mixture == [(0.5, 0.5), (1.0, 0.5)]
+        with pytest.raises(ValueError):
+            MixtureObjective(diamond_workflow, diamond_slo, [], retune_backend)
+        with pytest.raises(ValueError):
+            MixtureObjective(
+                diamond_workflow, diamond_slo, [(1.0, 0.0)], retune_backend
+            )
+
+    def test_attainment_target_tolerates_a_minority_miss(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, retune_backend
+    ):
+        # A scale high enough that the minority component misses the SLO.
+        heavy_mixture = [(1.0, 0.92), (20.0, 0.08)]
+        strict = MixtureObjective(
+            diamond_workflow, diamond_slo, heavy_mixture, retune_backend
+        )
+        lenient = MixtureObjective(
+            diamond_workflow,
+            diamond_slo,
+            heavy_mixture,
+            retune_backend,
+            attainment_target=0.9,
+        )
+        strict_result = strict.evaluate(diamond_base_configuration)
+        lenient_result = lenient.evaluate(diamond_base_configuration)
+        if not strict_result.slo_met:
+            assert lenient_result.slo_met

@@ -1,0 +1,143 @@
+"""Unit tests for the drift detectors."""
+
+import dataclasses
+
+import pytest
+
+from repro.control.drift import (
+    DRIFT_DETECTOR_NAMES,
+    NullDriftDetector,
+    PageHinkleyDetector,
+    ScheduledDriftDetector,
+    ThresholdDriftDetector,
+    build_drift_detector,
+)
+from repro.control.monitor import SlidingWindowMonitor
+
+
+def snapshot(time=0.0, rate=1.0, scale=1.0, latency=10.0, attainment=1.0):
+    """A hand-built snapshot with the fields detectors look at."""
+    base = SlidingWindowMonitor(window_seconds=60.0).snapshot(0.0)
+    return dataclasses.replace(
+        base,
+        time=time,
+        arrival_count=10,
+        arrival_rate_rps=rate,
+        completion_count=10,
+        latency_mean_seconds=latency,
+        latency_p95_seconds=latency,
+        latency_p99_seconds=latency,
+        mean_cost=1.0,
+        slo_attainment=attainment,
+        mean_input_scale=scale,
+    )
+
+
+class TestFactory:
+    def test_all_names_build(self):
+        for name in DRIFT_DETECTOR_NAMES:
+            assert build_drift_detector(name) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_drift_detector("astrology")
+
+    def test_options_forwarded(self):
+        detector = build_drift_detector("scheduled", interval_seconds=5.0)
+        assert detector.interval_seconds == 5.0
+
+
+class TestNullDetector:
+    def test_never_fires(self):
+        detector = NullDriftDetector()
+        for time in range(100):
+            assert detector.observe(snapshot(time=float(time), rate=time)) is None
+
+
+class TestThresholdDetector:
+    def test_first_observation_becomes_the_baseline(self):
+        detector = ThresholdDriftDetector(relative_threshold=0.3)
+        assert detector.observe(snapshot(rate=1.0)) is None
+        assert detector.observe(snapshot(rate=1.05)) is None
+
+    def test_fires_on_relative_rate_change(self):
+        detector = ThresholdDriftDetector(relative_threshold=0.3)
+        detector.observe(snapshot(rate=1.0))
+        reason = detector.observe(snapshot(rate=1.5))
+        assert reason is not None and "arrival_rate_rps" in reason
+
+    def test_fires_on_mix_shift(self):
+        detector = ThresholdDriftDetector(relative_threshold=0.3)
+        detector.observe(snapshot(scale=1.0))
+        assert detector.observe(snapshot(scale=0.6)) is not None
+
+    def test_attainment_is_compared_absolutely(self):
+        detector = ThresholdDriftDetector(
+            metrics=("slo_attainment",), attainment_drop=0.1
+        )
+        detector.observe(snapshot(attainment=1.0))
+        assert detector.observe(snapshot(attainment=0.95)) is None
+        assert detector.observe(snapshot(attainment=0.85)) is not None
+
+    def test_rebaseline_resets_the_reference(self):
+        detector = ThresholdDriftDetector(relative_threshold=0.3)
+        detector.observe(snapshot(rate=1.0))
+        detector.rebaseline(snapshot(rate=2.0))
+        assert detector.observe(snapshot(rate=2.2)) is None
+        assert detector.observe(snapshot(rate=3.0)) is not None
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            ThresholdDriftDetector(metrics=("vibes",))
+
+
+class TestPageHinkley:
+    def test_persistent_shift_accumulates_to_a_fire(self):
+        detector = PageHinkleyDetector(
+            metric="arrival_rate_rps", threshold=0.5, min_observations=3
+        )
+        for _ in range(10):
+            assert detector.observe(snapshot(rate=1.0)) is None
+        fired = None
+        for _ in range(50):
+            fired = detector.observe(snapshot(rate=1.6))
+            if fired:
+                break
+        assert fired is not None and "upward" in fired
+
+    def test_downward_drift_detected_too(self):
+        detector = PageHinkleyDetector(
+            metric="arrival_rate_rps", threshold=0.5, min_observations=3
+        )
+        for _ in range(10):
+            detector.observe(snapshot(rate=1.0))
+        fired = None
+        for _ in range(50):
+            fired = detector.observe(snapshot(rate=0.4))
+            if fired:
+                break
+        assert fired is not None and "downward" in fired
+
+    def test_noise_below_delta_never_fires(self):
+        detector = PageHinkleyDetector(
+            metric="arrival_rate_rps", delta=0.05, threshold=1.0
+        )
+        values = [1.0, 1.01, 0.99, 1.02, 0.98] * 20
+        assert all(detector.observe(snapshot(rate=v)) is None for v in values)
+
+    def test_rebaseline_clears_the_accumulator(self):
+        detector = PageHinkleyDetector(threshold=0.5, min_observations=2)
+        for _ in range(5):
+            detector.observe(snapshot(rate=1.0))
+        detector.rebaseline(snapshot(rate=2.0))
+        assert detector.observe(snapshot(rate=2.0)) is None
+
+
+class TestScheduled:
+    def test_fires_on_cadence_and_rebaselines(self):
+        detector = ScheduledDriftDetector(interval_seconds=100.0)
+        assert detector.observe(snapshot(time=50.0)) is None
+        assert detector.observe(snapshot(time=120.0)) is not None
+        detector.rebaseline(snapshot(time=120.0))
+        assert detector.observe(snapshot(time=150.0)) is None
+        assert detector.observe(snapshot(time=221.0)) is not None

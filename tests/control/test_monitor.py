@@ -1,0 +1,129 @@
+"""Unit tests for the sliding-window monitor."""
+
+import math
+
+import pytest
+
+from repro.control.monitor import CompletionRecord, SlidingWindowMonitor
+from repro.execution.events import RequestArrival
+from repro.workflow.slo import SLO
+
+
+def record(index, completion, latency, cost=10.0, input_class="default",
+           input_scale=1.0, succeeded=True, version=0, queueing=0.0):
+    return CompletionRecord(
+        index=index,
+        completion_time=completion,
+        latency_seconds=latency,
+        queueing_seconds=queueing,
+        cost=cost,
+        input_class=input_class,
+        input_scale=input_scale,
+        succeeded=succeeded,
+        config_version=version,
+    )
+
+
+def arrival(time, input_class="default", input_scale=1.0):
+    return RequestArrival(
+        arrival_time=time, input_scale=input_scale, input_class=input_class
+    )
+
+
+class TestSlidingWindowMonitor:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor(window_seconds=0.0)
+
+    def test_empty_snapshot_is_well_defined(self):
+        monitor = SlidingWindowMonitor(window_seconds=60.0)
+        snap = monitor.snapshot(0.0)
+        assert snap.arrival_count == 0
+        assert snap.completion_count == 0
+        assert snap.arrival_rate_rps == 0.0
+        assert math.isnan(snap.latency_mean_seconds)
+        assert snap.mixture() == [(1.0, 1.0)]
+
+    def test_window_eviction_is_timestamp_driven(self):
+        monitor = SlidingWindowMonitor(window_seconds=10.0)
+        for t in (0.0, 5.0, 9.0, 14.0):
+            monitor.observe_arrival(t, arrival(t))
+        snap = monitor.snapshot(15.0)
+        # 0.0 fell out of [5, 15]; the rest remain.
+        assert snap.arrival_count == 3
+
+    def test_rate_uses_effective_window_during_warmup(self):
+        monitor = SlidingWindowMonitor(window_seconds=100.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            monitor.observe_arrival(t, arrival(t))
+        snap = monitor.snapshot(4.0)
+        # 4 arrivals over 4 observed seconds, not over the nominal 100.
+        assert snap.arrival_rate_rps == pytest.approx(1.0)
+
+    def test_class_mix_and_scales(self):
+        monitor = SlidingWindowMonitor(window_seconds=60.0)
+        for t, name, scale in (
+            (1.0, "light", 0.5),
+            (2.0, "light", 0.5),
+            (3.0, "heavy", 1.5),
+            (4.0, "light", 0.5),
+        ):
+            monitor.observe_arrival(t, arrival(t, name, scale))
+        snap = monitor.snapshot(10.0)
+        assert dict(snap.class_mix) == {"light": 0.75, "heavy": 0.25}
+        assert dict(snap.class_scales) == {"light": 0.5, "heavy": 1.5}
+        assert snap.mean_input_scale == pytest.approx(0.75)
+        assert snap.mixture() == [(0.5, 0.75), (1.5, 0.25)]
+
+    def test_latency_cost_and_attainment(self):
+        slo = SLO(latency_limit=100.0, name="test")
+        monitor = SlidingWindowMonitor(window_seconds=60.0, slo=slo)
+        monitor.observe_completion(10.0, record(0, 10.0, latency=50.0, cost=4.0))
+        monitor.observe_completion(12.0, record(1, 12.0, latency=150.0, cost=8.0))
+        snap = monitor.snapshot(20.0)
+        assert snap.completion_count == 2
+        assert snap.latency_mean_seconds == pytest.approx(100.0)
+        assert snap.mean_cost == pytest.approx(6.0)
+        assert snap.slo_attainment == pytest.approx(0.5)
+        assert snap.latency_p99_seconds == pytest.approx(150.0)
+
+    def test_failed_completions_never_attain(self):
+        slo = SLO(latency_limit=100.0, name="test")
+        monitor = SlidingWindowMonitor(window_seconds=60.0, slo=slo)
+        monitor.observe_completion(
+            5.0, record(0, 5.0, latency=10.0, succeeded=False)
+        )
+        assert monitor.snapshot(6.0).slo_attainment == 0.0
+
+    def test_version_counts(self):
+        monitor = SlidingWindowMonitor(window_seconds=60.0)
+        monitor.observe_completion(1.0, record(0, 1.0, 5.0, version=0))
+        monitor.observe_completion(2.0, record(1, 2.0, 5.0, version=1))
+        monitor.observe_completion(3.0, record(2, 3.0, 5.0, version=1))
+        assert monitor.snapshot(4.0).version_counts == ((0, 1), (1, 2))
+
+    def test_arrival_lull_keeps_the_last_observed_mix(self):
+        """A window with completions but no arrivals (backlog draining) must
+        not fabricate a unit-scale mix the detectors would read as drift."""
+        monitor = SlidingWindowMonitor(window_seconds=10.0)
+        monitor.observe_arrival(1.0, arrival(1.0, "heavy", 1.5))
+        monitor.observe_arrival(2.0, arrival(2.0, "heavy", 1.5))
+        before = monitor.snapshot(3.0)
+        assert before.mean_input_scale == pytest.approx(1.5)
+        # Arrivals stop; the backlog keeps completing far past the window.
+        monitor.observe_completion(30.0, record(0, 30.0, latency=25.0))
+        lull = monitor.snapshot(30.0)
+        assert lull.arrival_count == 0
+        assert lull.arrival_rate_rps == 0.0  # the rate drop is genuine
+        assert lull.mean_input_scale == pytest.approx(1.5)  # the mix is not
+        assert dict(lull.class_mix) == {"heavy": 1.0}
+        assert lull.mixture() == [(1.5, 1.0)]
+
+    def test_signature_is_hashable_and_mix_sensitive(self):
+        monitor = SlidingWindowMonitor(window_seconds=60.0)
+        monitor.observe_arrival(1.0, arrival(1.0, "light", 0.5))
+        sig_a = monitor.snapshot(2.0).signature()
+        monitor.observe_arrival(3.0, arrival(3.0, "heavy", 1.5))
+        sig_b = monitor.snapshot(4.0).signature()
+        assert hash(sig_a) != hash(sig_b) or sig_a != sig_b
+        assert sig_a != sig_b

@@ -1,0 +1,174 @@
+"""Unit tests for the rollout policies."""
+
+import pytest
+
+from repro.control.monitor import CompletionRecord, SlidingWindowMonitor
+from repro.control.rollout import (
+    ROLLOUT_POLICY_NAMES,
+    CanaryRollout,
+    DrainAndSwitchRollout,
+    ImmediateRollout,
+    RolloutDecision,
+    build_rollout_policy,
+)
+from repro.workflow.slo import SLO
+
+
+def completion(index, version, latency=10.0, succeeded=True, cost=1.0):
+    return CompletionRecord(
+        index=index,
+        completion_time=100.0 + index,
+        latency_seconds=latency,
+        queueing_seconds=0.0,
+        cost=cost,
+        input_class="default",
+        input_scale=1.0,
+        succeeded=succeeded,
+        config_version=version,
+    )
+
+
+def baseline_snapshot():
+    return SlidingWindowMonitor(window_seconds=60.0).snapshot(0.0)
+
+
+class TestFactory:
+    def test_all_names_build(self):
+        for name in ROLLOUT_POLICY_NAMES:
+            assert build_rollout_policy(name) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_rollout_policy("yolo")
+
+
+class TestImmediate:
+    def test_promotes_at_begin(self):
+        policy = ImmediateRollout()
+        decision = policy.begin(0.0, 0, 1, baseline_snapshot(), frozenset())
+        assert decision is RolloutDecision.PROMOTE
+
+
+class TestCanary:
+    def make(self, **kwargs):
+        policy = CanaryRollout(**kwargs)
+        policy.bind(SLO(latency_limit=100.0, name="test"))
+        policy.begin(0.0, 0, 1, baseline_snapshot(), frozenset())
+        return policy
+
+    def test_fraction_is_honoured_within_one_request(self):
+        policy = self.make(fraction=0.25)
+        versions = [policy.assign_version(i) for i in range(100)]
+        canary = sum(1 for v in versions if v == 1)
+        assert canary == 25
+        # At every prefix the canary share never exceeds the fraction.
+        running = 0
+        for i, v in enumerate(versions, start=1):
+            running += v == 1
+            assert running <= 0.25 * i + 1e-9
+
+    def test_promotes_when_canary_attains_like_stable(self):
+        policy = self.make(evaluation_requests=3, min_stable=2)
+        assert policy.on_completion(1.0, completion(0, 0, latency=50)) is RolloutDecision.CONTINUE
+        assert policy.on_completion(2.0, completion(1, 0, latency=55)) is RolloutDecision.CONTINUE
+        assert policy.on_completion(3.0, completion(2, 1, latency=90)) is RolloutDecision.CONTINUE
+        assert policy.on_completion(4.0, completion(3, 1, latency=95)) is RolloutDecision.CONTINUE
+        # Third canary completion triggers the decision; everyone met the SLO.
+        assert policy.on_completion(5.0, completion(4, 1, latency=92)) is RolloutDecision.PROMOTE
+
+    def test_rolls_back_on_attainment_regression(self):
+        policy = self.make(evaluation_requests=2, min_stable=2)
+        policy.on_completion(1.0, completion(0, 0, latency=50))
+        policy.on_completion(2.0, completion(1, 0, latency=55))
+        policy.on_completion(3.0, completion(2, 1, latency=150))  # misses SLO
+        decision = policy.on_completion(4.0, completion(3, 1, latency=160))
+        assert decision is RolloutDecision.ROLLBACK
+
+    def test_rolls_back_on_canary_failure(self):
+        policy = self.make(evaluation_requests=1)
+        decision = policy.on_completion(
+            1.0, completion(0, 1, latency=10, succeeded=False)
+        )
+        assert decision is RolloutDecision.ROLLBACK
+
+    def test_symmetric_failures_do_not_veto_the_candidate(self):
+        """Config-independent faults hit both cohorts alike; the candidate
+        only rolls back when the *canary* fails disproportionately."""
+        policy = self.make(evaluation_requests=4, min_stable=4)
+        # Stable cohort: 1 of 4 failed; everything else meets the SLO.
+        for index, ok in enumerate([True, True, True, False]):
+            policy.on_completion(float(index), completion(index, 0, 50, succeeded=ok))
+        # Canary cohort fails at the same 1-in-4 rate.
+        decisions = [
+            policy.on_completion(10.0 + k, completion(10 + k, 1, 55, succeeded=ok))
+            for k, ok in enumerate([True, False, True, True])
+        ]
+        assert decisions[-1] is RolloutDecision.PROMOTE
+
+    def test_latency_guard_is_opt_in(self):
+        # Default: a slower-but-within-SLO canary promotes (cost re-tunes).
+        lenient = self.make(evaluation_requests=1, min_stable=1)
+        lenient.on_completion(1.0, completion(0, 0, latency=10))
+        assert (
+            lenient.on_completion(2.0, completion(1, 1, latency=90))
+            is RolloutDecision.PROMOTE
+        )
+        strict = self.make(
+            evaluation_requests=1, min_stable=1, latency_tolerance=0.5
+        )
+        strict.on_completion(1.0, completion(0, 0, latency=10))
+        assert (
+            strict.on_completion(2.0, completion(1, 1, latency=90))
+            is RolloutDecision.ROLLBACK
+        )
+
+    def test_rejected_canary_requests_count_as_failures(self):
+        """An unservable candidate (every canary arrival rejected) must still
+        resolve the evaluation — in a rollback — even though the canary
+        cohort never completes anything."""
+        policy = self.make(evaluation_requests=3)
+        assert policy.on_rejection(1.0, 0, version=1) is RolloutDecision.CONTINUE
+        assert policy.on_rejection(2.0, 1, version=1) is RolloutDecision.CONTINUE
+        assert policy.on_rejection(3.0, 2, version=1) is RolloutDecision.ROLLBACK
+
+    def test_stable_rejections_carry_no_canary_signal(self):
+        policy = self.make(evaluation_requests=1)
+        assert policy.on_rejection(1.0, 0, version=0) is RolloutDecision.CONTINUE
+        # A clean canary completion afterwards still promotes.
+        assert (
+            policy.on_completion(2.0, completion(1, 1, latency=50))
+            is RolloutDecision.PROMOTE
+        )
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            CanaryRollout(fraction=0.0)
+        with pytest.raises(ValueError):
+            CanaryRollout(evaluation_requests=0)
+        with pytest.raises(ValueError):
+            CanaryRollout(latency_tolerance=-1.0)
+
+
+class TestDrainAndSwitch:
+    def test_waits_for_prerollout_inflight(self):
+        policy = DrainAndSwitchRollout()
+        decision = policy.begin(0.0, 0, 1, baseline_snapshot(), frozenset({7, 9}))
+        assert decision is RolloutDecision.CONTINUE
+        # Arrivals during the drain stay on the old configuration.
+        assert policy.assign_version(11) == 0
+        assert policy.on_completion(1.0, completion(7, 0)) is RolloutDecision.CONTINUE
+        assert policy.on_completion(2.0, completion(9, 0)) is RolloutDecision.PROMOTE
+
+    def test_empty_inflight_promotes_instantly(self):
+        policy = DrainAndSwitchRollout()
+        assert (
+            policy.begin(0.0, 0, 1, baseline_snapshot(), frozenset())
+            is RolloutDecision.PROMOTE
+        )
+
+    def test_rejection_of_a_draining_request_unblocks_the_switch(self):
+        # A rejected request never completes; the drain must not wait on it.
+        policy = DrainAndSwitchRollout()
+        policy.begin(0.0, 0, 1, baseline_snapshot(), frozenset({7, 9}))
+        assert policy.on_completion(1.0, completion(7, 0)) is RolloutDecision.CONTINUE
+        assert policy.on_rejection(2.0, 9, version=0) is RolloutDecision.PROMOTE

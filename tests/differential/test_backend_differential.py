@@ -1,0 +1,157 @@
+"""Differential tests: the vectorized fast path vs the reference simulator.
+
+Every serving scenario is run twice under identical seeds — once with
+``backend="simulator"`` (the reference scalar path) and once with
+``backend="vectorized"`` (the NumPy fast path) — and the results are
+compared *exactly*: per-request dispatch/completion/cost traces, the full
+metrics block and the rendered report.  Whatever optimisations the fast
+path grows, it can never silently diverge from the reference semantics
+without failing here.
+
+The quick cases run in the fast lane; the full resilience-matrix sweep and
+the adaptive runs are ``slow``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.reporting import render_serving_report
+from repro.experiments.serving_experiment import (
+    ServingSettings,
+    build_scenario_matrix,
+    run_serving_experiment,
+)
+from repro.workloads.arrivals import TrafficPhase, TrafficProfile
+
+
+def run_pair(workload: str, settings: ServingSettings):
+    """Run one scenario on both substrates under identical seeds."""
+    reference = run_serving_experiment(
+        workload, dataclasses.replace(settings, backend="simulator")
+    )
+    fast = run_serving_experiment(
+        workload, dataclasses.replace(settings, backend="vectorized")
+    )
+    return reference, fast
+
+
+def request_trace(report):
+    """Flatten per-request behaviour to comparable tuples."""
+    return [
+        (
+            outcome.index,
+            outcome.request.arrival_time,
+            outcome.dispatch_time,
+            outcome.completion_time,
+            outcome.cost,
+            outcome.cold_start_count,
+            outcome.succeeded,
+            outcome.config_version,
+            outcome.attempts,
+            outcome.retries,
+        )
+        for outcome in report.result.outcomes
+    ]
+
+
+def assert_equivalent(reference, fast):
+    """Bit-exact equality of traces, metrics and the rendered report."""
+    assert request_trace(reference) == request_trace(fast)
+    assert dataclasses.asdict(reference.metrics) == dataclasses.asdict(fast.metrics)
+    assert len(reference.result.rejected) == len(fast.result.rejected)
+    # The rendered reports differ only in the backend-stack description.
+    ref_text = render_serving_report(reference)
+    fast_text = render_serving_report(fast)
+    strip = lambda text: [  # noqa: E731 - tiny local helper
+        line
+        for line in text.splitlines()
+        if "backend:" not in line and "[" not in line
+    ]
+    assert strip(ref_text) == strip(fast_text)
+
+
+class TestQuickDifferential:
+    """Fast-lane guards: one clean and one faulted serving run."""
+
+    def test_clean_serving_run(self):
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.4,
+            duration_seconds=60.0,
+            nodes=2,
+            seed=90210,
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+    def test_faulted_serving_run(self):
+        settings = ServingSettings(
+            method="base",
+            arrival="constant",
+            rate_rps=0.3,
+            duration_seconds=60.0,
+            nodes=2,
+            seed=90210,
+            faults="crashes",
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+    def test_noisy_serving_run(self):
+        # Noise routes every evaluation through per-request rng streams,
+        # which the vectorized backend must hand to the scalar path.
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.3,
+            duration_seconds=50.0,
+            nodes=2,
+            seed=90210,
+            noise_cv=0.1,
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+
+@pytest.mark.slow
+class TestScenarioMatrixDifferential:
+    """Every named resilience scenario agrees across substrates."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        build_scenario_matrix("chatbot", seed=717, duration_seconds=90.0),
+        ids=lambda spec: spec.name,
+    )
+    def test_scenario(self, spec):
+        assert_equivalent(*run_pair("chatbot", spec.settings))
+
+
+@pytest.mark.slow
+class TestAdaptiveDifferential:
+    """The adaptive control loop agrees across substrates too."""
+
+    def test_adaptive_drift_run(self):
+        phases = (
+            TrafficPhase(
+                "calm", 0.0, TrafficProfile(arrival="constant", rate_rps=0.02)
+            ),
+            TrafficPhase(
+                "busy", 600.0, TrafficProfile(arrival="constant", rate_rps=0.06)
+            ),
+        )
+        settings = ServingSettings(
+            method="base",
+            duration_seconds=1500.0,
+            nodes=4,
+            seed=717,
+            phases=phases,
+            adaptive=True,
+            detector="threshold",
+            detector_options={"relative_threshold": 0.5},
+            rollout="immediate",
+        )
+        reference, fast = run_pair("chatbot", settings)
+        assert_equivalent(reference, fast)
+        # The control loop itself behaved identically.
+        ref_events = [(e.time, e.kind) for e in reference.control.events]
+        fast_events = [(e.time, e.kind) for e in fast.control.events]
+        assert ref_events == fast_events

@@ -95,6 +95,53 @@ class TestCachingBackend:
         assert backend.cache_hits == 0
         assert backend.cache_misses == 3
 
+    def test_context_isolates_phases(self, diamond_executor, diamond_workflow,
+                                     diamond_base_configuration):
+        """Entries cached under one traffic-phase context are never read
+        back under another — the adaptive controller's re-tune isolation."""
+        backend = CachingBackend(SimulatorBackend(diamond_executor))
+        backend.set_context(("phase", "morning"))
+        backend.evaluate(diamond_workflow, diamond_base_configuration)
+        executions_after_morning = diamond_executor.executions
+        # Same (workflow, configuration, scale) under another phase: a miss.
+        backend.set_context(("phase", "evening"))
+        backend.evaluate(diamond_workflow, diamond_base_configuration)
+        assert diamond_executor.executions == executions_after_morning + 1
+        assert backend.cache_hits == 0
+        assert backend.cache_misses == 2
+        # Within a phase the cache still serves repeats ...
+        backend.evaluate(diamond_workflow, diamond_base_configuration)
+        assert diamond_executor.executions == executions_after_morning + 1
+        assert backend.cache_hits == 1
+        # ... and switching back re-enables the earlier phase's entries.
+        backend.set_context(("phase", "morning"))
+        backend.evaluate(diamond_workflow, diamond_base_configuration)
+        assert diamond_executor.executions == executions_after_morning + 1
+        assert backend.cache_hits == 2
+
+    def test_context_isolates_batches_too(self, diamond_executor, diamond_workflow,
+                                          diamond_base_configuration):
+        backend = CachingBackend(SimulatorBackend(diamond_executor))
+        variants = _variants(diamond_base_configuration, count=3)
+        backend.set_context(("phase", 1))
+        backend.evaluate_batch(diamond_workflow, variants)
+        executions = diamond_executor.executions
+        backend.set_context(("phase", 2))
+        backend.evaluate_batch(diamond_workflow, variants)
+        assert diamond_executor.executions == executions + len(variants)
+        backend.evaluate_batch(diamond_workflow, variants)
+        assert diamond_executor.executions == executions + len(variants)
+
+    def test_default_context_is_none_and_constructor_sets_it(
+        self, diamond_executor
+    ):
+        plain = CachingBackend(SimulatorBackend(diamond_executor))
+        assert plain.context is None
+        tagged = CachingBackend(
+            SimulatorBackend(diamond_executor), context=("phase", 0)
+        )
+        assert tagged.context == ("phase", 0)
+
     def test_noisy_evaluations_bypass_cache(self, diamond_profiles, diamond_workflow,
                                             diamond_base_configuration):
         registry = PerformanceModelRegistry.from_profiles(

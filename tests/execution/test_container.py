@@ -183,3 +183,37 @@ class TestExpiryHeap:
         pool.release(b, finish_time=20.0)
         reused, cold = pool.acquire("f", CONFIG, timestamp=30.0)
         assert not cold and reused is b
+
+
+class TestRetarget:
+    def test_retarget_evicts_mismatched_idle_containers(self):
+        pool = ContainerPool(keep_alive_seconds=600.0)
+        old, _ = pool.acquire("f", CONFIG, 0.0)
+        pool.release(old, 1.0)
+        other, _ = pool.acquire("g", CONFIG, 0.0)
+        pool.release(other, 1.0)
+        evicted = pool.retarget({"f": OTHER_CONFIG, "g": CONFIG})
+        assert evicted == 1
+        assert pool.evictions == 1
+        # f's old-config container is gone: acquiring is a cold start ...
+        _, cold = pool.acquire("f", CONFIG, 2.0)
+        assert cold
+        # ... while g's matching container survived as a warm hit.
+        _, cold = pool.acquire("g", CONFIG, 2.0)
+        assert not cold
+
+    def test_retarget_spares_checked_out_containers(self):
+        pool = ContainerPool(keep_alive_seconds=600.0)
+        checked_out, _ = pool.acquire("f", CONFIG, 0.0)
+        assert pool.retarget({"f": OTHER_CONFIG}) == 0
+        # The in-flight container is unaffected and can still be returned.
+        pool.release(checked_out, 5.0)
+        assert pool.warm_count("f", 5.0) == 1
+
+    def test_retarget_matching_config_is_a_noop(self):
+        pool = ContainerPool(keep_alive_seconds=600.0)
+        container, _ = pool.acquire("f", CONFIG, 0.0)
+        pool.release(container, 1.0)
+        assert pool.retarget({"f": CONFIG}) == 0
+        _, cold = pool.acquire("f", CONFIG, 2.0)
+        assert not cold

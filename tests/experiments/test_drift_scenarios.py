@@ -1,0 +1,92 @@
+"""Acceptance tests for the drift scenario suite (adaptive vs static).
+
+These assert the PR's acceptance criteria: `repro scenarios --suite drift
+--seed 717` is deterministic across two runs, and the adaptive controller
+strictly beats the static configuration on cost/request or p99 in at least
+3 of the (at least 4) drift scenarios.
+"""
+
+import pytest
+
+from repro.experiments.adaptive_experiment import (
+    DRIFT_SCENARIO_NAMES,
+    build_drift_scenarios,
+    run_drift_suite,
+)
+from repro.experiments.reporting import render_drift_suite
+
+pytestmark = pytest.mark.slow  # two serving runs plus searches per scenario
+
+
+def test_suite_defines_at_least_four_distinct_scenarios():
+    scenarios = build_drift_scenarios(seed=717)
+    names = [spec.name for spec in scenarios]
+    assert tuple(names) == DRIFT_SCENARIO_NAMES
+    assert len(names) >= 4
+    assert len(set(names)) == len(names)
+    for spec in scenarios:
+        assert spec.settings.adaptive
+        assert spec.settings.phases
+
+
+class TestDriftSuiteAcceptance:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        # The acceptance setup: `repro scenarios --suite drift --seed 717`.
+        return run_drift_suite(seed=717)
+
+    def test_every_scenario_ran_both_twins(self, suite):
+        assert set(suite.comparisons) == set(DRIFT_SCENARIO_NAMES)
+        for comparison in suite.comparisons.values():
+            assert comparison.adaptive.control is not None
+            assert comparison.static.control is None
+            assert comparison.adaptive.metrics.completed > 0
+            assert (
+                comparison.adaptive.metrics.offered
+                == comparison.static.metrics.offered
+            )
+
+    def test_adaptive_beats_static_in_at_least_three_scenarios(self, suite):
+        wins = {
+            name: (comparison.wins_cost, comparison.wins_p99)
+            for name, comparison in suite.comparisons.items()
+        }
+        assert suite.win_count >= 3, f"adaptive won too rarely: {wins}"
+
+    def test_the_controller_actually_acted(self, suite):
+        """Wins must come from re-tunes, not from accidental divergence."""
+        for name, comparison in suite.comparisons.items():
+            control = comparison.adaptive.control
+            if comparison.wins:
+                assert control.retunes >= 1, f"{name} won without re-tuning"
+                assert control.promotions + control.rollbacks >= 0
+        # At least one scenario promoted a re-tuned configuration.
+        assert any(
+            c.adaptive.control.promotions >= 1 for c in suite.comparisons.values()
+        )
+
+    def test_oracle_brackets_the_strategies(self, suite):
+        """Regret is measured against the phase-oracle where it exists."""
+        seen_oracle = False
+        for comparison in suite.comparisons.values():
+            if comparison.oracle_cost_per_request is None:
+                continue
+            seen_oracle = True
+            # The adaptive strategy's regret never exceeds the static one's
+            # in scenarios it wins on cost.
+            if comparison.wins_cost:
+                assert (
+                    comparison.regret_per_request("adaptive")
+                    < comparison.regret_per_request("static")
+                )
+        assert seen_oracle
+
+    def test_suite_is_deterministic_across_two_runs(self, suite):
+        again = run_drift_suite(seed=717)
+        assert render_drift_suite(suite) == render_drift_suite(again)
+
+    def test_render_mentions_every_scenario(self, suite):
+        text = render_drift_suite(suite)
+        for name in DRIFT_SCENARIO_NAMES:
+            assert name in text
+        assert "adaptive beats static" in text

@@ -13,15 +13,18 @@ serving run with an empty :class:`~repro.execution.faults.FaultPlan` must
 reproduce the recorded fault-free traces bit-identically.
 """
 
+import dataclasses
 import json
 import os
 
 import pytest
 
+from repro.control.controller import ControllerOptions
 from repro.execution.faults import FaultPlan
 from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
 from repro.experiments.serving_experiment import ServingSettings, run_serving_experiment
 from repro.workflow.serialization import configuration_to_dict
+from repro.workloads.arrivals import TrafficPhase, TrafficProfile
 
 SERVING_SETTINGS = ServingSettings(
     method="base",
@@ -32,14 +35,93 @@ SERVING_SETTINGS = ServingSettings(
     seed=424242,
 )
 
+#: Drifting-traffic settings shared by the adaptive goldens: a steady stream
+#: served from the base configuration, with one scheduled re-tune rolled out
+#: through a canary.  The promote/rollback split comes from the canary's
+#: latency guard alone, so the two fixtures pin both decision paths.
+ADAPTIVE_SETTINGS = ServingSettings(
+    method="base",
+    duration_seconds=1800.0,
+    nodes=4,
+    seed=424242,
+    phases=(
+        TrafficPhase("steady", 0.0, TrafficProfile(arrival="constant", rate_rps=0.02)),
+    ),
+    adaptive=True,
+    detector="scheduled",
+    detector_options={"interval_seconds": 500.0},
+    rollout="canary",
+    rollout_options={"fraction": 0.5, "evaluation_requests": 4, "min_stable": 2},
+    controller=ControllerOptions(
+        window_seconds=400.0,
+        min_window_completions=4,
+        min_retune_interval_seconds=200.0,
+    ),
+)
 
-def serving_snapshot(faults=None):
+
+def adaptive_snapshot(rollout_options=None):
+    """Run the pinned adaptive experiment and flatten it to JSON-safe data."""
+    settings = ADAPTIVE_SETTINGS
+    if rollout_options is not None:
+        settings = dataclasses.replace(settings, rollout_options=rollout_options)
+    report = run_serving_experiment("chatbot", settings)
+    control = report.control
+    metrics = report.metrics
+    return {
+        "workload": report.workload,
+        "traffic": report.traffic_description,
+        "requests": [
+            {
+                "index": outcome.index,
+                "arrival": outcome.arrival_time,
+                "dispatch": outcome.dispatch_time,
+                "completion": outcome.completion_time,
+                "cost": outcome.cost,
+                "version": outcome.config_version,
+            }
+            for outcome in report.result.outcomes
+        ],
+        "metrics": {
+            "completed": metrics.completed,
+            "latency_p50": metrics.latency_p50_seconds,
+            "latency_p99": metrics.latency_p99_seconds,
+            "mean_cost_per_request": metrics.mean_cost_per_request,
+            "slo_attainment": metrics.slo_attainment,
+        },
+        "control": {
+            "retunes": control.retunes,
+            "promotions": control.promotions,
+            "rollbacks": control.rollbacks,
+            "failed_retunes": control.failed_retunes,
+            "final_version": control.final_version,
+            "version_completions": {
+                str(version): count
+                for version, count in control.version_completions.items()
+            },
+            "events": [
+                {
+                    "time": event.time,
+                    "kind": event.kind,
+                    "version": event.version,
+                }
+                for event in control.events
+            ],
+        },
+    }
+
+
+def serving_snapshot(faults=None, adaptive_null=False):
     """Run the pinned serving experiment and flatten it to JSON-safe data."""
     settings = SERVING_SETTINGS
     if faults is not None:
-        import dataclasses
-
         settings = dataclasses.replace(settings, faults=faults)
+    if adaptive_null:
+        # The full adaptive machinery with a detector that never fires: must
+        # be indistinguishable from the static run.
+        settings = dataclasses.replace(
+            settings, adaptive=True, detector="null", rollout="canary"
+        )
     report = run_serving_experiment("chatbot", settings)
     metrics = report.metrics
     return {
@@ -171,6 +253,56 @@ class TestServingGolden:
             "serving_chatbot_crashes.json",
             serving_snapshot(faults="crashes"),
             update_golden,
+        )
+
+    def test_null_drift_detector_is_byte_identical_to_static_serving(
+        self, golden_dir, update_golden
+    ):
+        """The control layer's core invariant, asserted against the recording.
+
+        An adaptive run whose detector never fires must reproduce the
+        recorded *static* serving behaviour bit-identically — the controller
+        schedules no events of its own and assigns the same configuration
+        object, so its mere presence cannot perturb the run.  Never
+        refreshed from its own output.
+        """
+        if update_golden:
+            pytest.skip("fixture is owned by the fault-free serving test")
+        check_golden(
+            golden_dir,
+            "serving_chatbot.json",
+            serving_snapshot(adaptive_null=True),
+            update=False,
+        )
+
+
+class TestAdaptiveGolden:
+    def test_drift_with_canary_promote_matches_golden(self, golden_dir, update_golden):
+        snapshot = adaptive_snapshot()
+        # The fixture must actually pin a promoted canary rollout — a
+        # refresh that silently loses the promote would defeat the test.
+        assert snapshot["control"]["promotions"] >= 1
+        assert snapshot["control"]["rollbacks"] == 0
+        assert snapshot["control"]["final_version"] > 0
+        check_golden(
+            golden_dir, "serving_adaptive_canary.json", snapshot, update_golden
+        )
+
+    def test_drift_with_rollback_matches_golden(self, golden_dir, update_golden):
+        # A strict latency guard vetoes the slower (cheaper) candidate, so
+        # the same run resolves in a rollback instead of a promote.
+        snapshot = adaptive_snapshot(
+            rollout_options={
+                "fraction": 0.5,
+                "evaluation_requests": 4,
+                "min_stable": 2,
+                "latency_tolerance": 0.15,
+            }
+        )
+        assert snapshot["control"]["rollbacks"] >= 1
+        assert snapshot["control"]["final_version"] == 0
+        check_golden(
+            golden_dir, "serving_adaptive_rollback.json", snapshot, update_golden
         )
 
 

@@ -94,3 +94,142 @@ class TestSearch:
             (s.cost for s in history.samples[:5] if s.feasible), default=float("inf")
         )
         assert result.best_cost <= initial_best
+
+
+class TestSurrogateWarmStart:
+    def test_cold_state_is_filled_in_place(self, diamond_objective, small_space):
+        from repro.optimizers.bayesian import SurrogateState
+
+        state = SurrogateState()
+        assert not state.is_warm
+        options = BayesianOptimizerOptions(max_samples=10, seed=3)
+        BayesianOptimizer(small_space, options).search(diamond_objective, state=state)
+        assert state.observation_count == 10
+        assert state.is_warm
+        assert state.model.is_fitted
+
+    def test_warm_search_skips_the_initial_design(
+        self, diamond_executor, diamond_workflow, diamond_slo, small_space
+    ):
+        from repro.core.objective import WorkflowObjective
+        from repro.optimizers.bayesian import SurrogateState
+
+        state = SurrogateState()
+        options = BayesianOptimizerOptions(max_samples=8, seed=3)
+        first = WorkflowObjective(
+            executor=diamond_executor, workflow=diamond_workflow, slo=diamond_slo
+        )
+        BayesianOptimizer(small_space, options).search(first, state=state)
+        assert any(s.phase == "bo-init" for s in first.history.samples)
+        second = WorkflowObjective(
+            executor=diamond_executor,
+            workflow=diamond_workflow,
+            slo=diamond_slo,
+            max_samples=6,
+        )
+        result = BayesianOptimizer(
+            small_space, BayesianOptimizerOptions(max_samples=6, n_initial_samples=4, seed=4)
+        ).search(second, state=state)
+        # Warm: every evaluation is acquisition-guided, none re-seed the design.
+        assert all(s.phase == "bo" for s in second.history.samples)
+        assert state.observation_count == 14
+        assert result.sample_count == 6
+
+    def test_warm_start_is_deterministic(
+        self, diamond_executor, diamond_workflow, diamond_slo, small_space
+    ):
+        from repro.core.objective import WorkflowObjective
+        from repro.optimizers.bayesian import SurrogateState
+
+        def run():
+            state = SurrogateState()
+            costs = []
+            for round_index in range(3):
+                objective = WorkflowObjective(
+                    executor=diamond_executor,
+                    workflow=diamond_workflow,
+                    slo=diamond_slo,
+                    max_samples=6,
+                )
+                BayesianOptimizer(
+                    small_space,
+                    BayesianOptimizerOptions(
+                        max_samples=6, n_initial_samples=4, seed=round_index
+                    ),
+                ).search(objective, state=state)
+                costs.extend(objective.history.cost_series())
+            return costs
+
+        assert run() == run()
+
+
+class TestBudgetOnPreConsumedObjectives:
+    def test_search_spends_exactly_the_remaining_budget(
+        self, diamond_executor, diamond_workflow, diamond_slo, small_space
+    ):
+        from repro.core.objective import WorkflowObjective
+
+        objective = WorkflowObjective(
+            executor=diamond_executor,
+            workflow=diamond_workflow,
+            slo=diamond_slo,
+            max_samples=10,
+        )
+        # The caller measured an incumbent first (the controller's pattern).
+        objective.evaluate(
+            __import__("repro.workflow.resources", fromlist=["WorkflowConfiguration"])
+            .WorkflowConfiguration.uniform(
+                diamond_workflow.function_names,
+                __import__("repro.workflow.resources", fromlist=["ResourceConfig"])
+                .ResourceConfig(vcpu=4.0, memory_mb=2048.0),
+            )
+        )
+        assert objective.sample_count == 1
+        BayesianOptimizer(
+            small_space,
+            BayesianOptimizerOptions(max_samples=10, n_initial_samples=4, seed=5),
+        ).search(objective)
+        # The search consumed the rest of the budget — all 10 samples used,
+        # not 9 (the historical off-by-one on pre-consumed objectives).
+        assert objective.sample_count == 10
+
+
+class TestWarmStartIncumbent:
+    def test_acquisition_incumbent_comes_from_the_current_search(
+        self, diamond_objective, small_space
+    ):
+        """Stale warm-start observations (recorded under earlier objectives)
+        must not define EI's incumbent once this search has its own."""
+        from repro.optimizers.acquisition import ExpectedImprovement
+        from repro.optimizers.bayesian import SurrogateState
+        import numpy as np
+
+        captured = []
+
+        class SpyEI(ExpectedImprovement):
+            def score(self, model, candidates, best_observed):
+                captured.append(best_observed)
+                return super().score(model, candidates, best_observed)
+
+        # A warm state whose stale minimum is absurdly low.
+        state = SurrogateState()
+        stale_x = [np.full(8, 0.5), np.full(8, 0.25)]
+        stale_y = [-1e9, -2e9]
+        state.observed_x.extend(stale_x)
+        state.observed_y.extend(stale_y)
+        from repro.optimizers.gp import GaussianProcessRegressor
+
+        state.model = GaussianProcessRegressor().fit(
+            np.vstack(stale_x), np.asarray(stale_y)
+        )
+        optimizer = BayesianOptimizer(
+            small_space,
+            BayesianOptimizerOptions(max_samples=4, n_initial_samples=1, seed=2),
+            acquisition=SpyEI(),
+        )
+        optimizer.search(diamond_objective, state=state)
+        # First round has no session observation: the incumbent is the GP's
+        # best posterior mean (model-derived), not the raw stale minimum.
+        assert captured[0] < 0
+        # Every later round's incumbent is a genuine current-objective value.
+        assert all(value > 0 for value in captured[1:])

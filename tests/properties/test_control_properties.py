@@ -1,0 +1,228 @@
+"""Hypothesis properties of the adaptive-control subsystem.
+
+Three invariants the controller's correctness rests on:
+
+* a rollback always restores the *exact* prior configuration object,
+* canary routing conserves requests (every arrival gets exactly one
+  version, and the canary share tracks the fraction within one request),
+* the monitor's window statistics are independent of the order in which
+  same-timestamp events were processed (the event loop's tie-break can
+  never leak into what the drift detectors observe).
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.monitor import CompletionRecord, SlidingWindowMonitor
+from repro.control.rollout import CanaryRollout, RolloutDecision
+from repro.execution.events import RequestArrival
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workflow.slo import SLO
+
+
+# -- canary conservation ----------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fraction=st.floats(min_value=0.05, max_value=1.0),
+    total=st.integers(min_value=1, max_value=400),
+)
+def test_canary_fraction_conserves_requests(fraction, total):
+    policy = CanaryRollout(fraction=fraction)
+    policy.begin(0.0, 3, 4, None, frozenset())
+    versions = [policy.assign_version(i) for i in range(total)]
+    canary, stable = policy.assigned_counts
+    # Conservation: every assignment went to exactly one of the versions.
+    assert canary + stable == total
+    assert canary == sum(1 for v in versions if v == 4)
+    assert stable == sum(1 for v in versions if v == 3)
+    assert set(versions) <= {3, 4}
+    # The canary share tracks the fraction within one request at all times.
+    running = 0
+    for i, version in enumerate(versions, start=1):
+        running += version == 4
+        assert running <= fraction * i + 1e-9
+        assert running >= fraction * i - 1.0 - 1e-9
+
+
+# -- rollback restores the exact prior configuration -------------------------------
+
+
+@st.composite
+def canary_outcomes(draw):
+    """A stream of (version, latency, succeeded) completions ending in a decision."""
+    n = draw(st.integers(min_value=4, max_value=30))
+    entries = []
+    for index in range(n):
+        entries.append(
+            (
+                draw(st.sampled_from([0, 1])),
+                draw(st.floats(min_value=1.0, max_value=300.0)),
+                draw(st.booleans()),
+            )
+        )
+    return entries
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=canary_outcomes())
+def test_rollback_restores_the_exact_prior_configuration(entries):
+    """Whatever the canary observes, a rollback must restore version 0 exactly.
+
+    This drives the policy directly with arbitrary completion streams and
+    checks that the controller-visible contract holds: after a ROLLBACK
+    decision the old version is the active one and its configuration is the
+    *same object* as before the transition (not a reconstruction).
+    """
+    from repro.control.controller import ReconfigurationController
+    from repro.control.drift import NullDriftDetector
+    from repro.execution.backend import EvaluationBackend
+
+    class _DeadBackend(EvaluationBackend):
+        name = "dead"
+
+        def evaluate(self, *args, **kwargs):  # pragma: no cover - never used
+            raise AssertionError("rollback paths must not evaluate anything")
+
+    old_configuration = WorkflowConfiguration.uniform(
+        ["f"], ResourceConfig(vcpu=2.0, memory_mb=512.0)
+    )
+    new_configuration = WorkflowConfiguration.uniform(
+        ["f"], ResourceConfig(vcpu=1.0, memory_mb=256.0)
+    )
+    policy = CanaryRollout(fraction=0.5, evaluation_requests=3, min_stable=2)
+    controller = ReconfigurationController(
+        workflow=_single_function_workflow(),
+        slo=SLO(latency_limit=100.0, name="prop"),
+        initial_configuration=old_configuration,
+        detector=NullDriftDetector(),
+        rollout=policy,
+        backend=_DeadBackend(),
+    )
+    # Force a transition exactly as _retune would, bypassing the search.
+    from repro.control.controller import ConfigVersionInfo
+
+    controller.versions.append(ConfigVersionInfo(1, new_configuration, 0.0, "prop"))
+    controller._transition = (0, 1)
+    policy.bind(controller.slo)
+    policy.begin(0.0, 0, 1, controller.monitor.snapshot(0.0), frozenset())
+
+    decided = False
+    for step, (version, latency, succeeded) in enumerate(entries):
+        request = RequestArrival(arrival_time=float(step))
+        record = CompletionRecord(
+            index=step,
+            completion_time=float(step) + latency,
+            latency_seconds=latency,
+            queueing_seconds=0.0,
+            cost=1.0,
+            input_class="default",
+            input_scale=1.0,
+            succeeded=succeeded,
+            config_version=version,
+        )
+        decision = policy.on_completion(record.completion_time, record)
+        if decision is RolloutDecision.ROLLBACK:
+            controller._rollback(record.completion_time)
+            decided = True
+            break
+        if decision is RolloutDecision.PROMOTE:
+            controller._promote(record.completion_time)
+            decided = True
+            break
+    if decided and controller.rollbacks:
+        assert controller.active_version == 0
+        assert controller.active_configuration is old_configuration
+        assert controller.versions[1].rejected
+    elif decided:
+        assert controller.active_version == 1
+        assert controller.active_configuration is new_configuration
+    # Either way the transition is resolved or still pending — never both.
+    assert controller.in_transition == (not decided)
+
+
+def _single_function_workflow():
+    from repro.workflow.dag import FunctionSpec, Workflow
+
+    return Workflow(name="prop", functions=[FunctionSpec("f")], edges=[])
+
+
+# -- monitor statistics are tie-break independent ----------------------------------
+
+
+@st.composite
+def same_time_batches(draw):
+    """Batches of observations sharing timestamps (the tie-break scenario)."""
+    n_batches = draw(st.integers(min_value=1, max_value=5))
+    batches = []
+    time = 0.0
+    index = 0
+    for _ in range(n_batches):
+        time += draw(st.floats(min_value=0.5, max_value=30.0))
+        size = draw(st.integers(min_value=1, max_value=5))
+        entries = []
+        for _ in range(size):
+            entries.append(
+                {
+                    "index": index,
+                    "time": time,
+                    "latency": draw(st.floats(min_value=0.1, max_value=50.0)),
+                    "cost": draw(st.floats(min_value=0.1, max_value=100.0)),
+                    "input_class": draw(st.sampled_from(["light", "heavy"])),
+                    "scale": draw(st.sampled_from([0.5, 1.0, 1.5])),
+                    "succeeded": draw(st.booleans()),
+                    "version": draw(st.integers(min_value=0, max_value=2)),
+                }
+            )
+            index += 1
+        batches.append(entries)
+    return batches
+
+
+@settings(max_examples=60, deadline=None)
+@given(batches=same_time_batches(), data=st.data())
+def test_monitor_statistics_are_tie_break_independent(batches, data):
+    """Permuting same-timestamp observations never changes the snapshot."""
+
+    def build(batch_orders):
+        monitor = SlidingWindowMonitor(
+            window_seconds=40.0, slo=SLO(latency_limit=25.0, name="prop")
+        )
+        for batch in batch_orders:
+            for entry in batch:
+                monitor.observe_arrival(
+                    entry["time"],
+                    RequestArrival(
+                        arrival_time=entry["time"],
+                        input_scale=entry["scale"],
+                        input_class=entry["input_class"],
+                    ),
+                )
+                monitor.observe_completion(
+                    entry["time"],
+                    CompletionRecord(
+                        index=entry["index"],
+                        completion_time=entry["time"],
+                        latency_seconds=entry["latency"],
+                        queueing_seconds=0.0,
+                        cost=entry["cost"],
+                        input_class=entry["input_class"],
+                        input_scale=entry["scale"],
+                        succeeded=entry["succeeded"],
+                        config_version=entry["version"],
+                    ),
+                )
+        now = max(e["time"] for b in batch_orders for e in b)
+        return monitor.snapshot(now)
+
+    shuffled = [
+        data.draw(st.permutations(batch), label="batch order") for batch in batches
+    ]
+    original = build(batches)
+    permuted = build(shuffled)
+    # Bit-exact equality: sorted-by-unique-key aggregation makes float sums
+    # independent of processing order, not merely approximately equal.
+    assert dataclasses.asdict(original) == dataclasses.asdict(permuted)

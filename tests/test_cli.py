@@ -190,3 +190,56 @@ class TestFaultCommands:
         assert "resilience scenario matrix" in output
         assert "baseline" in output
         assert "crash-retry vs baseline" in output
+
+
+class TestAdaptiveCommands:
+    def test_serve_adaptive_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--adaptive", "--controller", "drain",
+             "--detector", "scheduled", "--backend", "vectorized"]
+        )
+        assert args.adaptive is True
+        assert args.controller == "drain"
+        assert args.detector == "scheduled"
+        assert args.backend == "vectorized"
+
+    def test_serve_adaptive_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.adaptive is False
+        assert args.controller == "canary"
+        assert args.detector == "threshold"
+        assert args.backend == "simulator"
+
+    def test_serve_rejects_unknown_controller_and_detector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--controller", "prayer"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--detector", "tea-leaves"])
+
+    def test_scenarios_suite_flag(self):
+        assert build_parser().parse_args(["scenarios"]).suite == "resilience"
+        assert (
+            build_parser().parse_args(["scenarios", "--suite", "drift"]).suite
+            == "drift"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--suite", "chaos"])
+
+    def test_serve_adaptive_prints_control_block(self, capsys):
+        assert main(
+            ["serve", "--workload", "chatbot", "--method", "base",
+             "--arrival", "constant", "--rate", "0.02", "--duration", "1500",
+             "--nodes", "4", "--seed", "717", "--adaptive",
+             "--detector", "scheduled", "--controller", "drain"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "adaptive control:" in output
+        assert "version completions:" in output
+        assert "re-tunes" in output
+
+    @pytest.mark.slow
+    def test_scenarios_drift_suite_runs(self, capsys):
+        assert main(["scenarios", "--suite", "drift", "--seed", "717"]) == 0
+        output = capsys.readouterr().out
+        assert "drift scenario suite" in output
+        assert "adaptive beats static" in output

@@ -10,9 +10,11 @@ from repro.workloads.arrivals import (
     BurstyArrivals,
     ConstantRateArrivals,
     DiurnalArrivals,
+    DriftingTrafficModel,
     PoissonArrivals,
     TraceArrivals,
     TrafficModel,
+    TrafficPhase,
     TrafficProfile,
     build_arrival_process,
     load_trace_times,
@@ -184,3 +186,94 @@ class TestWorkloadDefaults:
         model = workload.traffic_model(arrival="constant", rate_rps=3.0)
         assert model.process.name == "constant"
         assert len(model.generate(10.0)) == 30
+
+
+class TestDriftingTrafficModel:
+    def phases(self):
+        return [
+            TrafficPhase(
+                "morning", 0.0,
+                TrafficProfile(
+                    arrival="constant", rate_rps=1.0,
+                    class_weights={"light": 1.0},
+                ),
+            ),
+            TrafficPhase(
+                "evening", 10.0,
+                TrafficProfile(
+                    arrival="constant", rate_rps=3.0,
+                    class_weights={"heavy": 1.0},
+                ),
+            ),
+        ]
+
+    def test_requires_phases_and_increasing_starts(self):
+        with pytest.raises(ValueError):
+            DriftingTrafficModel([])
+        with pytest.raises(ValueError):
+            DriftingTrafficModel(
+                [
+                    TrafficPhase("a", 5.0, TrafficProfile()),
+                    TrafficPhase("b", 10.0, TrafficProfile()),
+                ]
+            )  # first phase must start at 0
+        with pytest.raises(ValueError):
+            DriftingTrafficModel(
+                [
+                    TrafficPhase("a", 0.0, TrafficProfile()),
+                    TrafficPhase("b", 0.0, TrafficProfile()),
+                ]
+            )
+
+    def test_phase_at_and_bounds(self):
+        model = DriftingTrafficModel(self.phases())
+        assert model.phase_at(0.0).name == "morning"
+        assert model.phase_at(9.9).name == "morning"
+        assert model.phase_at(10.0).name == "evening"
+        bounds = model.phase_bounds(25.0)
+        assert [(p.name, a, b) for p, a, b in bounds] == [
+            ("morning", 0.0, 10.0), ("evening", 10.0, 25.0)
+        ]
+        # A horizon inside phase 1 truncates it and drops later phases.
+        assert model.phase_bounds(5.0)[-1][2] == 5.0
+
+    def test_each_phase_uses_its_own_rate_and_mix(self):
+        model = DriftingTrafficModel(self.phases(), classes=VIDEO_INPUT_CLASSES)
+        requests = model.generate(20.0, RngStream(7, "drift"))
+        early = [r for r in requests if r.arrival_time < 10.0]
+        late = [r for r in requests if r.arrival_time >= 10.0]
+        assert len(early) == 10  # 1 rps for 10 s
+        assert len(late) == 30  # 3 rps for 10 s
+        assert {r.input_class for r in early} == {"light"}
+        assert {r.input_class for r in late} == {"heavy"}
+        assert all(
+            a.arrival_time <= b.arrival_time
+            for a, b in zip(requests, requests[1:])
+        )
+
+    def test_generation_is_deterministic_and_phase_isolated(self):
+        phases = [
+            TrafficPhase(
+                "a", 0.0, TrafficProfile(arrival="poisson", rate_rps=2.0)
+            ),
+            TrafficPhase(
+                "b", 20.0, TrafficProfile(arrival="poisson", rate_rps=1.0)
+            ),
+        ]
+        model = DriftingTrafficModel(phases)
+        first = model.generate(40.0, RngStream(11, "drift"))
+        second = model.generate(40.0, RngStream(11, "drift"))
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+        # Editing a later phase never perturbs an earlier one (child rngs
+        # are keyed by phase index).
+        edited = DriftingTrafficModel(
+            [phases[0], TrafficPhase("b", 20.0, TrafficProfile(arrival="poisson", rate_rps=5.0))]
+        )
+        reedited = edited.generate(40.0, RngStream(11, "drift"))
+        assert [r.arrival_time for r in reedited if r.arrival_time < 20.0] == [
+            r.arrival_time for r in first if r.arrival_time < 20.0
+        ]
+
+    def test_describe_names_every_phase(self):
+        text = DriftingTrafficModel(self.phases()).describe()
+        assert "morning" in text and "evening" in text and "drifting" in text
