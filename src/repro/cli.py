@@ -38,6 +38,7 @@ from repro.control.drift import DRIFT_DETECTOR_NAMES
 from repro.control.rollout import ROLLOUT_POLICY_NAMES
 from repro.execution.backend import BACKEND_NAMES
 from repro.execution.faults import FAULT_PROFILE_NAMES
+from repro.execution.serving_vectorized import SERVING_ENGINE_NAMES
 from repro.experiments.adaptive_experiment import run_drift_suite
 from repro.experiments.harness import (
     DEFAULT_METHODS,
@@ -183,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
              "traces (all are bit-identical; the differential tests assert it)",
     )
     serve.add_argument(
+        "--engine", default="event", choices=list(SERVING_ENGINE_NAMES),
+        help="serving engine: the scalar event loop or the cohort-vectorized "
+             "batched engine (bit-identical reports; the differential tests "
+             "assert it)",
+    )
+    serve.add_argument(
         "--adaptive", action="store_true",
         help="close the drift -> re-tune -> rollout loop mid-run with the "
              "online reconfiguration controller",
@@ -231,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument(
         "--rate", type=float, default=0.15,
         help="shared mean arrival rate in requests/second",
+    )
+    scenarios.add_argument(
+        "--workers", type=positive_int, default=None,
+        help="run the resilience matrix cells in N parallel processes "
+             "(per-scenario seed isolation keeps reports byte-identical)",
     )
     scenarios.add_argument(
         "--seed", dest="scenarios_seed", type=int, default=None,
@@ -356,6 +368,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         noise_cv=args.noise,
         faults=args.faults,
         backend=args.backend,
+        engine=args.engine,
         adaptive=args.adaptive,
         detector=args.detector,
         rollout=args.controller,
@@ -377,6 +390,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         method=args.method,
         nodes=args.nodes,
         rate_rps=args.rate,
+        workers=args.workers,
     )
     print(render_scenario_matrix(matrix))
     return 0

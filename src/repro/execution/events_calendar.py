@@ -1,0 +1,102 @@
+"""Array-friendly event calendar for the batched serving engine.
+
+The scalar :class:`~repro.execution.events.EventLoop` stores one closure
+per event behind a ``(timestamp, counter)`` heap key.  That is flexible but
+expensive on the serving hot path, where millions of events fall into a
+handful of homogeneous kinds (arrival, function start, container release,
+request completion).  The :class:`EventCalendar` here keeps the *exact*
+ordering contract of the event loop — timestamp order, insertion order on
+ties — while representing events as plain tuples of primitives:
+
+* a **backbone lane** holds a pre-sorted homogeneous stream (the arrival
+  timestamps), consuming no per-event heap work at all; and
+* a **dynamic lane** is a binary heap of ``(time, seq, kind, a, b)``
+  records pushed while the simulation runs.
+
+Sequence numbers replicate the scalar engine's tie-breaking: backbone
+events own seqs ``0..n-1`` (the scalar run schedules every arrival before
+any dynamic event, so arrivals win ties against dynamic events), and the
+dynamic counter continues from ``n`` in push order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["EventCalendar"]
+
+#: One event record: (time, seq, kind, a, b).
+Event = Tuple[float, int, int, int, int]
+
+
+class EventCalendar:
+    """Two-lane discrete-event calendar with EventLoop tie-breaking.
+
+    Parameters
+    ----------
+    backbone_times:
+        Non-decreasing timestamps pre-loaded into the backbone lane.  The
+        ``i``-th backbone event pops as ``(time, i, backbone_kind, i, 0)``.
+    backbone_kind:
+        Event kind code stamped on backbone events.
+    """
+
+    __slots__ = ("_backbone", "_backbone_kind", "_cursor", "_heap", "_seq", "now")
+
+    def __init__(
+        self,
+        backbone_times: Optional[Sequence[float]] = None,
+        backbone_kind: int = 0,
+    ) -> None:
+        times = [float(t) for t in backbone_times] if backbone_times is not None else []
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("backbone timestamps must be non-decreasing")
+        self._backbone: List[float] = times
+        self._backbone_kind = int(backbone_kind)
+        self._cursor = 0
+        self._heap: List[Event] = []
+        self._seq = len(times)
+        self.now = 0.0
+
+    def push(self, time: float, kind: int, a: int = 0, b: int = 0) -> int:
+        """Schedule one dynamic event; returns its sequence number."""
+        if time < self.now - 1e-9:
+            raise ValueError("cannot schedule an event in the past")
+        seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (float(time), seq, int(kind), int(a), int(b)))
+        return seq
+
+    def __len__(self) -> int:
+        return (len(self._backbone) - self._cursor) + len(self._heap)
+
+    def __bool__(self) -> bool:
+        return self._cursor < len(self._backbone) or bool(self._heap)
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event (raises IndexError when empty)."""
+        if self._cursor < len(self._backbone):
+            backbone_time = self._backbone[self._cursor]
+            if not self._heap or (backbone_time, self._cursor) <= self._heap[0][:2]:
+                return backbone_time
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the next event in (time, seq) order."""
+        if self._cursor < len(self._backbone):
+            backbone_time = self._backbone[self._cursor]
+            if not self._heap or (backbone_time, self._cursor) <= self._heap[0][:2]:
+                event = (
+                    backbone_time,
+                    self._cursor,
+                    self._backbone_kind,
+                    self._cursor,
+                    0,
+                )
+                self._cursor += 1
+                self.now = backbone_time
+                return event
+        event = heapq.heappop(self._heap)
+        self.now = event[0]
+        return event

@@ -35,6 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.execution.backend import EvaluationBackend, SimulatorBackend
 from repro.execution.cluster import Cluster, Node
 from repro.execution.container import ContainerPool
@@ -63,6 +65,16 @@ __all__ = [
 ]
 
 
+def _nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank lookup into an already-sorted sequence."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be between 0 and 100")
+    if len(ordered) == 0:
+        return float("nan")
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (deterministic, no interpolation).
 
@@ -72,9 +84,7 @@ def percentile(values: Sequence[float], q: float) -> float:
         raise ValueError("q must be between 0 and 100")
     if not values:
         return float("nan")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    return _nearest_rank(sorted(values), q)
 
 
 @dataclass(frozen=True)
@@ -127,7 +137,6 @@ class ServingOptions:
     autoscaler: AutoscalerOptions = field(default_factory=AutoscalerOptions)
 
 
-@dataclass
 class ServedRequest:
     """Outcome of one request that made it through the serving layer.
 
@@ -136,28 +145,93 @@ class ServedRequest:
     ``base_invocations`` counts the invocations a fault-free execution of
     the same trace performs, so ``attempts / base_invocations`` is the
     request's retry amplification.
+
+    A million-request run allocates one of these per request, so the class
+    is a hand-written ``__slots__`` record rather than a dataclass (which
+    cannot combine slots with field defaults before Python 3.10); the
+    memory win is measured in ``benchmarks/results/BENCH_serving.json``.
+    ``config_version`` stays writable — the serving loop stamps it at
+    completion time under an adaptive controller.
     """
 
-    index: int
-    request: RequestArrival
-    configuration: WorkflowConfiguration
-    dispatch_time: float
-    completion_time: float
-    cost: float
-    cold_start_count: int = 0
-    cold_start_seconds: float = 0.0
-    succeeded: bool = True
-    service_trace: Optional[ExecutionTrace] = None
-    #: Configuration version that served this request (0 = the initial
-    #: configuration; bumped by adaptive re-tunes).  Static runs stay at 0.
-    config_version: int = 0
-    attempts: int = 0
-    retries: int = 0
-    restarts: int = 0
-    base_invocations: int = 0
-    wasted_seconds: float = 0.0
-    wasted_gb_seconds: float = 0.0
-    fault_counts: Dict[str, int] = field(default_factory=dict)
+    __slots__ = (
+        "index",
+        "request",
+        "configuration",
+        "dispatch_time",
+        "completion_time",
+        "cost",
+        "cold_start_count",
+        "cold_start_seconds",
+        "succeeded",
+        "service_trace",
+        "config_version",
+        "attempts",
+        "retries",
+        "restarts",
+        "base_invocations",
+        "wasted_seconds",
+        "wasted_gb_seconds",
+        "fault_counts",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        request: RequestArrival,
+        configuration: WorkflowConfiguration,
+        dispatch_time: float,
+        completion_time: float,
+        cost: float,
+        cold_start_count: int = 0,
+        cold_start_seconds: float = 0.0,
+        succeeded: bool = True,
+        service_trace: Optional[ExecutionTrace] = None,
+        config_version: int = 0,
+        attempts: int = 0,
+        retries: int = 0,
+        restarts: int = 0,
+        base_invocations: int = 0,
+        wasted_seconds: float = 0.0,
+        wasted_gb_seconds: float = 0.0,
+        fault_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.index = index
+        self.request = request
+        self.configuration = configuration
+        self.dispatch_time = dispatch_time
+        self.completion_time = completion_time
+        self.cost = cost
+        self.cold_start_count = cold_start_count
+        self.cold_start_seconds = cold_start_seconds
+        self.succeeded = succeeded
+        self.service_trace = service_trace
+        #: Configuration version that served this request (0 = the initial
+        #: configuration; bumped by adaptive re-tunes).  Static runs stay at 0.
+        self.config_version = config_version
+        self.attempts = attempts
+        self.retries = retries
+        self.restarts = restarts
+        self.base_invocations = base_invocations
+        self.wasted_seconds = wasted_seconds
+        self.wasted_gb_seconds = wasted_gb_seconds
+        self.fault_counts = fault_counts if fault_counts is not None else {}
+
+    def __repr__(self) -> str:
+        return (
+            f"ServedRequest(index={self.index}, "
+            f"arrival={self.request.arrival_time!r}, "
+            f"dispatch={self.dispatch_time!r}, "
+            f"completion={self.completion_time!r}, cost={self.cost!r}, "
+            f"succeeded={self.succeeded})"
+        )
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
 
     @property
     def arrival_time(self) -> float:
@@ -424,24 +498,38 @@ class _Autoscaler:
             self.decisions.append((now, target))
 
 
-@dataclass
 class _RequestCarry:
     """Counters one request accumulates across node-failure incarnations.
 
     A node failure aborts the in-flight request and re-queues it; the fresh
     launch must keep billing, retry and wasted-work totals from the aborted
     incarnation, so they live here rather than in per-launch state.
+    ``__slots__``-backed like :class:`ServedRequest` — one per in-flight
+    request on the faulty hot path.
     """
 
-    attempts: int = 0
-    retries: int = 0
-    restarts: int = 0
-    wasted_seconds: float = 0.0
-    wasted_gb_seconds: float = 0.0
-    extra_cost: float = 0.0
-    cold_count: int = 0
-    cold_seconds: float = 0.0
-    fault_counts: Dict[str, int] = field(default_factory=dict)
+    __slots__ = (
+        "attempts",
+        "retries",
+        "restarts",
+        "wasted_seconds",
+        "wasted_gb_seconds",
+        "extra_cost",
+        "cold_count",
+        "cold_seconds",
+        "fault_counts",
+    )
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.retries = 0
+        self.restarts = 0
+        self.wasted_seconds = 0.0
+        self.wasted_gb_seconds = 0.0
+        self.extra_cost = 0.0
+        self.cold_count = 0
+        self.cold_seconds = 0.0
+        self.fault_counts: Dict[str, int] = {}
 
     def count_fault(self, kind: FaultKind) -> None:
         self.fault_counts[kind.value] = self.fault_counts.get(kind.value, 0) + 1
@@ -1142,6 +1230,11 @@ class ServingSimulator:
         latencies = [o.latency_seconds for o in outcomes]
         queueing = [o.queueing_delay for o in outcomes]
         costs = [o.cost for o in outcomes]
+        # Sort once per metric list (numpy sorts the same float values the
+        # builtin would, and the nearest-rank lookup only reads elements) —
+        # three percentile calls per list would re-sort each time.
+        latencies_sorted = np.sort(np.asarray(latencies, dtype=np.float64))
+        queueing_sorted = np.sort(np.asarray(queueing, dtype=np.float64))
         completed = len(outcomes)
         makespan = max((o.completion_time for o in outcomes), default=0.0)
         slo_limit = self.slo.latency_limit if self.slo is not None else None
@@ -1162,13 +1255,13 @@ class ServingSimulator:
             offered_rate_rps=offered / duration_seconds if duration_seconds > 0 else 0.0,
             throughput_rps=completed / makespan if makespan > 0 else 0.0,
             latency_mean_seconds=sum(latencies) / completed if completed else float("nan"),
-            latency_p50_seconds=percentile(latencies, 50),
-            latency_p95_seconds=percentile(latencies, 95),
-            latency_p99_seconds=percentile(latencies, 99),
-            latency_max_seconds=max(latencies) if latencies else float("nan"),
+            latency_p50_seconds=_nearest_rank(latencies_sorted, 50),
+            latency_p95_seconds=_nearest_rank(latencies_sorted, 95),
+            latency_p99_seconds=_nearest_rank(latencies_sorted, 99),
+            latency_max_seconds=float(latencies_sorted[-1]) if completed else float("nan"),
             queueing_mean_seconds=sum(queueing) / completed if completed else float("nan"),
-            queueing_p95_seconds=percentile(queueing, 95),
-            queueing_max_seconds=max(queueing) if queueing else float("nan"),
+            queueing_p95_seconds=_nearest_rank(queueing_sorted, 95),
+            queueing_max_seconds=float(queueing_sorted[-1]) if completed else float("nan"),
             slo_limit_seconds=slo_limit,
             slo_attainment=attainment,
             cold_start_request_rate=(

@@ -42,6 +42,7 @@ from repro.execution.serving import (
     ServingResult,
     ServingSimulator,
 )
+from repro.execution.serving_vectorized import build_serving_engine
 from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
 from repro.utils.rng import RngStream
 from repro.workflow.resources import WorkflowConfiguration
@@ -110,6 +111,13 @@ class ServingSettings:
         Evaluation substrate serving the request path's service traces
         (``"simulator"``, ``"parallel"`` or ``"vectorized"`` — all
         bit-identical; the differential test tier asserts it).
+    engine:
+        Serving engine walking the request stream: ``"event"`` (the scalar
+        reference event loop) or ``"batched"`` (the array-cohort engine in
+        :mod:`repro.execution.serving_vectorized`).  Bit-identical under
+        fixed seeds — the engine differential tier asserts it; faulty,
+        noisy, adaptive and autoscaled runs route through the scalar
+        fallback either way.
     configuration:
         Explicit initial configuration; when given, ``method`` is skipped
         entirely (no search phase).
@@ -153,6 +161,7 @@ class ServingSettings:
     slo_scale: float = 1.0
     faults: Optional[Union[str, FaultPlan]] = None
     backend: str = "simulator"
+    engine: str = "event"
     configuration: Optional[WorkflowConfiguration] = None
     phases: Optional[Tuple[TrafficPhase, ...]] = None
     adaptive: bool = False
@@ -309,9 +318,16 @@ def run_serving_experiment(
         traffic = workload.traffic_model(
             arrival=settings.arrival, rate_rps=settings.rate_rps
         )
-    requests = traffic.generate(
-        settings.duration_seconds, RngStream(settings.seed, f"traffic/{workload.name}")
-    )
+    traffic_rng = RngStream(settings.seed, f"traffic/{workload.name}")
+    if settings.engine == "batched":
+        # The array path draws the same RngStream children as the scalar
+        # iterator, element-for-element (property-tested), so the request
+        # stream is identical — just generated in vectorized chunks.
+        requests = traffic.generate_batch(
+            settings.duration_seconds, traffic_rng
+        ).to_requests()
+    else:
+        requests = traffic.generate(settings.duration_seconds, traffic_rng)
 
     controller = None
     if settings.adaptive:
@@ -351,7 +367,8 @@ def run_serving_experiment(
             base_config=workload.base_config,
         )
 
-    simulator = ServingSimulator(
+    simulator = build_serving_engine(
+        settings.engine,
         workflow=workload.workflow,
         executor=executor,
         backend=backend,
@@ -569,6 +586,12 @@ def build_scenario_matrix(
     ]
 
 
+def _run_matrix_cell(cell: Tuple[str, ScenarioSpec]) -> Tuple[str, ServingReport]:
+    """Run one scenario cell (module-level so worker processes can pickle it)."""
+    workload_name, spec = cell
+    return spec.name, run_serving_experiment(workload_name, spec.settings)
+
+
 def run_scenario_matrix(
     workload_name: str = "chatbot",
     seed: int = 717,
@@ -577,11 +600,16 @@ def run_scenario_matrix(
     nodes: int = 4,
     rate_rps: float = 0.15,
     scenarios: Optional[List[ScenarioSpec]] = None,
+    workers: Optional[int] = None,
 ) -> ScenarioMatrixReport:
     """Run every scenario of the matrix and collect the reports.
 
     Deterministic end to end: the traffic, fault schedules and (if any)
-    search phase all derive from ``seed``.
+    search phase all derive from ``seed``.  With ``workers > 1`` the cells
+    run in a process pool — each scenario is already seed-isolated (every
+    cell rebuilds its executor, pool and streams from its own settings), so
+    parallel reports are byte-identical to serial ones; the worker count
+    only changes wall-clock time.
     """
     specs = (
         scenarios
@@ -595,10 +623,18 @@ def run_scenario_matrix(
             rate_rps=rate_rps,
         )
     )
-    reports = {
-        spec.name: run_serving_experiment(workload_name, spec.settings)
-        for spec in specs
-    }
+    if workers is not None and workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            reports = dict(
+                pool.map(_run_matrix_cell, [(workload_name, spec) for spec in specs])
+            )
+    else:
+        reports = {
+            spec.name: run_serving_experiment(workload_name, spec.settings)
+            for spec in specs
+        }
     return ScenarioMatrixReport(
         workload=workload_name, seed=seed, scenarios=specs, reports=reports
     )

@@ -1,0 +1,288 @@
+"""Differential tests: the batched serving engine vs the scalar event loop.
+
+Every serving scenario is run twice under identical seeds — once with
+``engine="event"`` (the reference scalar event loop) and once with
+``engine="batched"`` (the cohort-vectorized engine in
+:mod:`repro.execution.serving_vectorized`) — and the results are compared
+*exactly*: per-request dispatch/completion/cost traces, the full metrics
+block and the rendered report.  Faulty, noisy, adaptive and autoscaled
+scenarios route through the batched engine's scalar fallback, and must
+still match byte for byte.  Whatever optimisations the batched engine
+grows, it can never silently diverge from the reference semantics without
+failing here.
+
+The quick cases run in the fast lane; the full resilience-matrix sweep and
+the adaptive-drift run are ``slow``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.execution.serving import ServingSimulator
+from repro.execution.serving_vectorized import (
+    SERVING_ENGINE_NAMES,
+    BatchedServingSimulator,
+    build_serving_engine,
+)
+from repro.experiments.reporting import render_serving_report
+from repro.experiments.serving_experiment import (
+    ServingSettings,
+    build_scenario_matrix,
+    run_serving_experiment,
+)
+from repro.workloads.arrivals import TrafficPhase, TrafficProfile
+from repro.workloads.registry import get_workload
+
+
+def run_pair(workload: str, settings: ServingSettings):
+    """Run one scenario on both engines under identical seeds."""
+    reference = run_serving_experiment(
+        workload, dataclasses.replace(settings, engine="event")
+    )
+    batched = run_serving_experiment(
+        workload, dataclasses.replace(settings, engine="batched")
+    )
+    return reference, batched
+
+
+def request_trace(report):
+    """Flatten per-request behaviour to comparable tuples."""
+    return [
+        (
+            outcome.index,
+            outcome.request.arrival_time,
+            outcome.dispatch_time,
+            outcome.completion_time,
+            outcome.cost,
+            outcome.cold_start_count,
+            outcome.cold_start_seconds,
+            outcome.succeeded,
+            outcome.config_version,
+            outcome.attempts,
+            outcome.retries,
+        )
+        for outcome in report.result.outcomes
+    ]
+
+
+def assert_equivalent(reference, batched):
+    """Bit-exact equality of traces, metrics and the rendered report."""
+    assert request_trace(reference) == request_trace(batched)
+    assert dataclasses.asdict(reference.metrics) == dataclasses.asdict(batched.metrics)
+    assert len(reference.result.rejected) == len(batched.result.rejected)
+    # The rendered reports differ only in backend-stack bookkeeping (the
+    # engines evaluate per-template vs per-request, so cache hit counts in
+    # the "backend:"/bracketed lines legitimately differ).
+    ref_text = render_serving_report(reference)
+    fast_text = render_serving_report(batched)
+    strip = lambda text: [  # noqa: E731 - tiny local helper
+        line
+        for line in text.splitlines()
+        if "backend:" not in line and "[" not in line
+    ]
+    assert strip(ref_text) == strip(fast_text)
+
+
+class TestQuickDifferential:
+    """Fast-lane guards over the main engine code paths."""
+
+    def test_uncapped_cohort_path(self):
+        # nodes=0 drives the cohort-vectorized settlement (no cluster).
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.5,
+            duration_seconds=120.0,
+            nodes=0,
+            seed=90210,
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+    def test_contended_calendar_path(self):
+        # nodes>0 drives the event-calendar replay (queueing + rejection).
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.4,
+            duration_seconds=60.0,
+            nodes=2,
+            seed=90210,
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+    def test_queue_capacity_rejections(self):
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=1.5,
+            duration_seconds=40.0,
+            nodes=2,
+            seed=90210,
+            queue_capacity=3,
+        )
+        reference, batched = run_pair("chatbot", settings)
+        assert_equivalent(reference, batched)
+        assert reference.metrics.rejected > 0
+
+    def test_input_aware_multi_config_cohorts(self):
+        # Per-class configurations exercise the multi-config pool sweep.
+        settings = ServingSettings(
+            method="AARC",
+            input_aware=True,
+            arrival="poisson",
+            rate_rps=0.3,
+            duration_seconds=90.0,
+            nodes=0,
+            seed=90210,
+        )
+        assert_equivalent(*run_pair("video-analysis", settings))
+
+    def test_noisy_run_routes_through_fallback(self):
+        # Noise hands the batched engine to its scalar fallback; reports
+        # must still match byte for byte.
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.3,
+            duration_seconds=50.0,
+            nodes=2,
+            seed=90210,
+            noise_cv=0.1,
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+    def test_faulted_run_routes_through_fallback(self):
+        settings = ServingSettings(
+            method="base",
+            arrival="constant",
+            rate_rps=0.3,
+            duration_seconds=60.0,
+            nodes=2,
+            seed=90210,
+            faults="crashes",
+        )
+        assert_equivalent(*run_pair("chatbot", settings))
+
+
+class TestEngineFactory:
+    """build_serving_engine routing and the explicit fallback conditions."""
+
+    @staticmethod
+    def _kwargs(workload):
+        executor = workload.build_executor()
+        from repro.execution.backend import build_backend
+
+        return dict(
+            workflow=workload.workflow,
+            executor=executor,
+            backend=build_backend(executor, name="simulator"),
+            cluster=None,
+            slo=workload.slo,
+        )
+
+    def test_factory_names(self):
+        workload = get_workload("chatbot")
+        assert isinstance(
+            build_serving_engine("event", **self._kwargs(workload)),
+            ServingSimulator,
+        )
+        assert isinstance(
+            build_serving_engine("batched", **self._kwargs(workload)),
+            BatchedServingSimulator,
+        )
+        with pytest.raises(ValueError, match="batched"):
+            build_serving_engine("warp", **self._kwargs(workload))
+        assert set(SERVING_ENGINE_NAMES) == {"event", "batched"}
+
+    def test_noisy_rng_falls_back_to_scalar(self):
+        from repro.execution.events import RequestArrival
+        from repro.utils.rng import RngStream
+        from repro.workloads.arrivals import PoissonArrivals
+
+        workload = get_workload("chatbot")
+        engine = build_serving_engine("batched", **self._kwargs(workload))
+        configuration = workload.base_configuration()
+        requests = [
+            RequestArrival(t)
+            for t in PoissonArrivals(0.5).arrival_times(
+                30.0, RngStream(7, "arrivals")
+            )
+        ]
+        reference = ServingSimulator(**self._kwargs(workload))
+        expected = reference.run(
+            requests, lambda _r: configuration, rng=RngStream(7, "noise")
+        )
+        result = engine.run(
+            requests, lambda _r: configuration, rng=RngStream(7, "noise")
+        )
+        assert dataclasses.asdict(result.metrics) == dataclasses.asdict(
+            expected.metrics
+        )
+
+
+@pytest.mark.slow
+class TestScenarioMatrixDifferential:
+    """Every named resilience scenario agrees across engines."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        build_scenario_matrix("chatbot", seed=717, duration_seconds=90.0),
+        ids=lambda spec: spec.name,
+    )
+    def test_scenario(self, spec):
+        assert_equivalent(*run_pair("chatbot", spec.settings))
+
+
+@pytest.mark.slow
+class TestAdaptiveDifferential:
+    """The adaptive control loop agrees across engines (scalar fallback)."""
+
+    def test_adaptive_drift_run(self):
+        phases = (
+            TrafficPhase(
+                "calm", 0.0, TrafficProfile(arrival="constant", rate_rps=0.02)
+            ),
+            TrafficPhase(
+                "busy", 600.0, TrafficProfile(arrival="constant", rate_rps=0.06)
+            ),
+        )
+        settings = ServingSettings(
+            method="base",
+            duration_seconds=1500.0,
+            nodes=4,
+            seed=717,
+            phases=phases,
+            adaptive=True,
+            detector="threshold",
+            detector_options={"relative_threshold": 0.5},
+            rollout="immediate",
+        )
+        reference, batched = run_pair("chatbot", settings)
+        assert_equivalent(reference, batched)
+        ref_events = [(e.time, e.kind) for e in reference.control.events]
+        fast_events = [(e.time, e.kind) for e in batched.control.events]
+        assert ref_events == fast_events
+
+
+@pytest.mark.slow
+class TestDriftDifferential:
+    """Drifting traffic (batched arrival generation across phases) agrees."""
+
+    def test_drifting_mix_shift(self):
+        phases = (
+            TrafficPhase(
+                "light", 0.0, TrafficProfile(arrival="poisson", rate_rps=0.3)
+            ),
+            TrafficPhase(
+                "surge", 120.0, TrafficProfile(arrival="bursty", rate_rps=0.6)
+            ),
+        )
+        settings = ServingSettings(
+            method="base",
+            duration_seconds=300.0,
+            nodes=0,
+            seed=424242,
+            phases=phases,
+        )
+        assert_equivalent(*run_pair("chatbot", settings))

@@ -1,0 +1,102 @@
+"""EventCalendar ordering: the array calendar keeps EventLoop's contract.
+
+The batched serving engine's cluster path replays the scalar event sequence
+on :class:`EventCalendar` instead of closure-per-event :class:`EventLoop`
+scheduling, so the calendar must reproduce the loop's ordering *exactly*:
+timestamp order first, insertion order on ties — with the backbone lane
+(arrivals pre-loaded up front) winning ties against dynamic events pushed
+later, just as the scalar run schedules every arrival before any dynamic
+event.
+"""
+
+import pytest
+
+from repro.execution.events import EventLoop
+from repro.execution.events_calendar import EventCalendar
+
+
+def _drain(calendar):
+    order = []
+    while calendar:
+        order.append(calendar.pop())
+    return order
+
+
+def test_backbone_orders_before_equal_time_dynamic_events():
+    calendar = EventCalendar([1.0, 2.0, 2.0, 5.0], backbone_kind=0)
+    calendar.push(2.0, kind=1, a=7)
+    calendar.push(1.0, kind=1, a=8)
+    kinds_and_a = [(event[2], event[3]) for event in _drain(calendar)]
+    # t=1.0: backbone (seq 0) beats the dynamic push (seq 5); t=2.0: both
+    # backbone events (seqs 1, 2) beat the dynamic one (seq 4).
+    assert kinds_and_a == [(0, 0), (1, 8), (0, 1), (0, 2), (1, 7), (0, 3)]
+
+
+def test_dynamic_lane_preserves_push_order_on_ties():
+    calendar = EventCalendar()
+    for a in range(6):
+        calendar.push(3.0, kind=2, a=a)
+    assert [event[3] for event in _drain(calendar)] == list(range(6))
+
+
+def test_matches_event_loop_ordering():
+    """Interleaved mixed-lane schedule pops in the loop's callback order."""
+    arrivals = [0.0, 0.5, 0.5, 1.5, 3.0]
+    dynamic = [(0.5, 10), (1.5, 11), (0.25, 12), (3.0, 13), (1.5, 14)]
+
+    loop_order = []
+    loop = EventLoop()
+
+    def record(tag):
+        return lambda: loop_order.append(tag)
+
+    for index, time in enumerate(arrivals):
+        loop.schedule(time, record(("arrival", index)))
+    for time, tag in dynamic:
+        loop.schedule(time, record(("dynamic", tag)))
+    loop.run()
+
+    calendar = EventCalendar(arrivals, backbone_kind=0)
+    for time, tag in dynamic:
+        calendar.push(time, kind=1, a=tag)
+    calendar_order = [
+        ("arrival", event[3]) if event[2] == 0 else ("dynamic", event[3])
+        for event in _drain(calendar)
+    ]
+    assert calendar_order == loop_order
+
+
+def test_now_tracks_popped_time_and_len_counts_both_lanes():
+    calendar = EventCalendar([1.0, 4.0])
+    calendar.push(2.0, kind=1)
+    assert len(calendar) == 3
+    assert calendar.peek_time() == 1.0
+    calendar.pop()
+    assert calendar.now == 1.0
+    calendar.pop()
+    assert calendar.now == 2.0
+    assert len(calendar) == 1
+    calendar.pop()
+    assert calendar.now == 4.0
+    assert not calendar
+    with pytest.raises(IndexError):
+        calendar.peek_time()
+
+
+def test_rejects_past_pushes_and_unsorted_backbone():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        EventCalendar([2.0, 1.0])
+    calendar = EventCalendar([5.0])
+    calendar.pop()
+    with pytest.raises(ValueError, match="past"):
+        calendar.push(4.0, kind=1)
+
+
+def test_push_at_current_time_fires_after_in_flight_ties():
+    """Events pushed at `now` during a cascade run after already-queued ties."""
+    calendar = EventCalendar([1.0])
+    calendar.push(1.0, kind=1, a=1)
+    first = calendar.pop()
+    assert first[2] == 0
+    calendar.push(1.0, kind=1, a=2)  # pushed mid-cascade at now == 1.0
+    assert [event[3] for event in _drain(calendar)] == [1, 2]
