@@ -13,13 +13,16 @@ Exposes the most common operations of the library without writing Python:
   through a traffic model on the event-driven serving layer and report
   throughput, tail latency, SLO attainment, cold starts and cost
   (``--faults <profile>`` perturbs the run with the fault-injection layer;
+  ``--protection <profile>`` guards it with the graceful-degradation layer;
   ``--adaptive --controller <policy>`` closes the drift → re-tune → rollout
   loop mid-run).
 * ``repro-aarc scenarios`` — run a named scenario matrix: ``--suite
   resilience`` (baseline, crashes, node-failure storm, stragglers, ...)
   renders a comparative goodput / availability / retry-amplification table;
   ``--suite drift`` runs the adaptive-vs-static drift scenarios (mix
-  shifts, flash crowd, diurnal ramp, online tuning).
+  shifts, flash crowd, diurnal ramp, online tuning); ``--suite protection``
+  runs the graceful-degradation suite (overload brownout, breaker storm,
+  hedges vs stragglers, deadline cascade).
 
 The ``repro`` console script is an alias of ``repro-aarc``.
 
@@ -38,6 +41,7 @@ from repro.control.drift import DRIFT_DETECTOR_NAMES
 from repro.control.rollout import ROLLOUT_POLICY_NAMES
 from repro.execution.backend import BACKEND_NAMES
 from repro.execution.faults import FAULT_PROFILE_NAMES
+from repro.execution.protection import PROTECTION_PROFILE_NAMES
 from repro.execution.serving_vectorized import SERVING_ENGINE_NAMES
 from repro.experiments.adaptive_experiment import run_drift_suite
 from repro.experiments.harness import (
@@ -56,6 +60,7 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.serving_experiment import (
     ServingSettings,
+    build_protection_scenario_matrix,
     run_scenario_matrix,
     run_serving_experiment,
 )
@@ -179,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
              "omit for a clean run)",
     )
     serve.add_argument(
+        "--protection", default=None, choices=list(PROTECTION_PROFILE_NAMES),
+        help="graceful-degradation profile guarding the run (admission "
+             "control, circuit breakers, load shedding, hedging, deadline "
+             "budgets; omit or 'none' for the unguarded path)",
+    )
+    serve.add_argument(
         "--backend", default="simulator", choices=list(BACKEND_NAMES),
         help="evaluation substrate serving the request path's service "
              "traces (all are bit-identical; the differential tests assert it)",
@@ -214,9 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a named scenario matrix through the serving layer",
     )
     scenarios.add_argument(
-        "--suite", default="resilience", choices=["resilience", "drift"],
-        help="scenario family: fault resilience or drift-aware adaptive "
-             "serving (drift ignores --workload/--method/--nodes/--rate)",
+        "--suite", default="resilience",
+        choices=["resilience", "drift", "protection"],
+        help="scenario family: fault resilience, drift-aware adaptive "
+             "serving (drift ignores --workload/--method/--nodes/--rate), "
+             "or the graceful-degradation protection suite",
     )
     scenarios.add_argument(
         "--workload", default="chatbot",
@@ -367,6 +380,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=args.cache,
         noise_cv=args.noise,
         faults=args.faults,
+        protection=args.protection,
         backend=args.backend,
         engine=args.engine,
         adaptive=args.adaptive,
@@ -382,6 +396,22 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     seed = args.scenarios_seed if args.scenarios_seed is not None else args.seed
     if args.suite == "drift":
         print(render_drift_suite(run_drift_suite(seed=seed)))
+        return 0
+    if args.suite == "protection":
+        matrix = run_scenario_matrix(
+            args.workload,
+            seed=seed,
+            workers=args.workers,
+            scenarios=build_protection_scenario_matrix(
+                args.workload,
+                seed=seed,
+                duration_seconds=args.duration,
+                method=args.method,
+                nodes=args.nodes,
+                rate_rps=args.rate,
+            ),
+        )
+        print(render_scenario_matrix(matrix))
         return 0
     matrix = run_scenario_matrix(
         args.workload,

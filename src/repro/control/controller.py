@@ -436,6 +436,17 @@ class ReconfigurationController:
                 # e.g. a canary whose cohort keeps being rejected outright.
                 self._rollback(now)
 
+    def observe_protection(self, now: float, kind: str, detail: str) -> None:
+        """Record one protection-layer decision on the control timeline.
+
+        The serving layer's :class:`~repro.execution.protection.ProtectionGuard`
+        reports breaker transitions and shed-level changes here, so an
+        adaptive run's timeline interleaves *defensive* state changes with
+        the controller's own drift/re-tune/rollout events — an operator
+        reading the summary sees both control planes in one place.
+        """
+        self.timeline.append(ControlEvent(now, f"protection-{kind}", detail))
+
     def observe_completion(self, now: float, outcome: ServedRequest) -> None:
         """Feed one completion; may step a rollout or trigger a re-tune."""
         record = CompletionRecord.from_outcome(outcome)

@@ -36,6 +36,7 @@ from repro.utils.rng import RngStream
 
 __all__ = [
     "FaultKind",
+    "HEDGE_ATTEMPT_OFFSET",
     "InvocationOutcome",
     "RetryPolicy",
     "NoRetry",
@@ -56,6 +57,13 @@ class FaultKind(enum.Enum):
     TIMEOUT = "timeout"
     STRAGGLER = "straggler"
     NODE_FAILURE = "node-failure"
+
+
+#: Attempt-number offset identifying hedged backup attempts.  A hedge racing
+#: primary attempt ``k`` asks the injector for attempt ``k + offset``, so its
+#: fate comes from a fresh keyed stream — deterministic, and never colliding
+#: with a real retry of the same function (retry chains stay far below 1000).
+HEDGE_ATTEMPT_OFFSET = 1000
 
 
 # -- retry policies ---------------------------------------------------------------
@@ -315,6 +323,17 @@ class InvocationOutcome:
     @property
     def killed(self) -> bool:
         """Whether the attempt was killed before completing."""
+        return not self.completed
+
+    @property
+    def breaker_signal(self) -> bool:
+        """What a circuit breaker should count this attempt as.
+
+        Kills of every kind (crash, OOM, timeout — including stage-budget
+        deadline kills) are failures; completions, slowed or not, are
+        successes.  Kept here so the protection layer and any future
+        consumer agree on the classification.
+        """
         return not self.completed
 
 

@@ -43,11 +43,13 @@ from repro.execution.container import ContainerPool
 from repro.execution.events import EventLoop, RequestArrival
 from repro.execution.executor import WorkflowExecutor
 from repro.execution.faults import (
+    HEDGE_ATTEMPT_OFFSET,
     FaultInjector,
     FaultKind,
     FaultPlan,
     InvocationOutcome,
 )
+from repro.execution.protection import ProtectionGuard, ProtectionPolicy
 from repro.execution.trace import ExecutionStatus, ExecutionTrace
 from repro.utils.rng import RngStream
 from repro.workflow.dag import Workflow
@@ -173,6 +175,8 @@ class ServedRequest:
         "wasted_seconds",
         "wasted_gb_seconds",
         "fault_counts",
+        "hedges",
+        "hedge_wins",
     )
 
     def __init__(
@@ -195,6 +199,8 @@ class ServedRequest:
         wasted_seconds: float = 0.0,
         wasted_gb_seconds: float = 0.0,
         fault_counts: Optional[Dict[str, int]] = None,
+        hedges: int = 0,
+        hedge_wins: int = 0,
     ) -> None:
         self.index = index
         self.request = request
@@ -216,6 +222,8 @@ class ServedRequest:
         self.wasted_seconds = wasted_seconds
         self.wasted_gb_seconds = wasted_gb_seconds
         self.fault_counts = fault_counts if fault_counts is not None else {}
+        self.hedges = hedges
+        self.hedge_wins = hedge_wins
 
     def __repr__(self) -> str:
         return (
@@ -292,6 +300,12 @@ class ServingMetrics:
     wasted_gb_seconds: float = 0.0
     faults_injected: int = 0
     node_failures: int = 0
+    # -- graceful-degradation metrics (protected runs; empty/zero otherwise) ----
+    rejected_by_cause: Dict[str, int] = field(default_factory=dict)
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    breaker_opens: int = 0
+    deadline_kills: int = 0
 
 
 @dataclass
@@ -302,6 +316,12 @@ class ServingResult:
     rejected: List[RequestArrival]
     metrics: ServingMetrics
     autoscaler_decisions: List[Tuple[float, int]] = field(default_factory=list)
+    #: Why a batched engine delegated this run to the scalar one ("" = it
+    #: did not).  Stamped by the batched engine, never by the scalar path.
+    fallback_reason: str = ""
+    #: Timestamped (time, kind, detail) protection decisions (breaker
+    #: transitions, shed level changes); empty for unprotected runs.
+    protection_events: List[Tuple[float, str, str]] = field(default_factory=list)
 
     def latencies(self) -> List[float]:
         """Per-request end-to-end latencies in arrival order."""
@@ -518,6 +538,8 @@ class _RequestCarry:
         "cold_count",
         "cold_seconds",
         "fault_counts",
+        "hedges",
+        "hedge_wins",
     )
 
     def __init__(self) -> None:
@@ -530,6 +552,8 @@ class _RequestCarry:
         self.cold_count = 0
         self.cold_seconds = 0.0
         self.fault_counts: Dict[str, int] = {}
+        self.hedges = 0
+        self.hedge_wins = 0
 
     def count_fault(self, kind: FaultKind) -> None:
         self.fault_counts[kind.value] = self.fault_counts.get(kind.value, 0) + 1
@@ -566,6 +590,12 @@ class ServingSimulator:
         retries).  ``None`` — or an *empty* plan — leaves the unperturbed
         code path untouched, so such runs are byte-identical to pre-fault
         behaviour.
+    protection:
+        Optional :class:`~repro.execution.protection.ProtectionPolicy`
+        defending the run (admission control, circuit breakers, load
+        shedding, hedging, deadline budgets).  ``None`` — or an *empty*
+        policy — leaves the unprotected code path untouched, mirroring the
+        empty-fault-plan invariant.
     """
 
     def __init__(
@@ -578,6 +608,7 @@ class ServingSimulator:
         slo: Optional[SLO] = None,
         options: Optional[ServingOptions] = None,
         faults: Optional[FaultPlan] = None,
+        protection: Optional[ProtectionPolicy] = None,
     ) -> None:
         if executor.options.simulate_cold_starts:
             raise ValueError(
@@ -594,6 +625,7 @@ class ServingSimulator:
         self.slo = slo
         self.options = options if options is not None else ServingOptions()
         self.faults = faults
+        self.protection = protection
         # The workflow is fixed for the simulator's lifetime: resolve the
         # per-function cold-start latencies, topological order and adjacency
         # once instead of on the per-request hot path.
@@ -753,6 +785,7 @@ class ServingSimulator:
         on_complete: Callable[[ServedRequest], None],
         register_abort: Callable[[int, Callable[[float], None]], None],
         carry: _RequestCarry,
+        guard: Optional[ProtectionGuard] = None,
     ) -> None:
         """Replay one request's service trace with fault injection.
 
@@ -764,6 +797,22 @@ class ServingSimulator:
         skips its dependents), and the whole launch can be *aborted* by a
         node failure — partial work is billed and counted as waste, and the
         caller re-queues the request with its accumulated ``carry``.
+
+        A :class:`~repro.execution.protection.ProtectionGuard` adds two
+        per-attempt mechanisms on top (everything below is a strict no-op
+        when ``guard`` is ``None``, keeping faulty-but-unprotected runs
+        byte-identical to their PR 4 behaviour):
+
+        * **deadline budgets** — each attempt is capped at its stage's
+          share of the end-to-end budget; exceeding it is a timeout kill,
+          retried like any other.
+        * **hedging** — an attempt planned to outlast the function's
+          rolling straggler percentile gets a deterministic backup attempt
+          launched at the percentile mark.  The race is resolved
+          analytically at hedge-launch time (both fates are already
+          known), but every consequence — loser cancellation, waste
+          billing, breaker feeds, the retry of a doubly-killed stage — is
+          still applied as events at its true simulated time.
         """
         trace = self.backend.evaluate(
             self.workflow,
@@ -775,6 +824,17 @@ class ServingSimulator:
         pricing = self.executor.pricing
         records = trace.records
         incarnation = carry.restarts
+        budgets = (
+            guard.stage_budgets(
+                {
+                    name: record.runtime_seconds
+                    for name, record in records.items()
+                    if record.status is not ExecutionStatus.SKIPPED
+                }
+            )
+            if guard is not None
+            else None
+        )
         base_invocations = sum(
             1 for r in records.values() if r.status is not ExecutionStatus.SKIPPED
         )
@@ -825,6 +885,8 @@ class ServingSimulator:
                 wasted_seconds=carry.wasted_seconds,
                 wasted_gb_seconds=carry.wasted_gb_seconds,
                 fault_counts=dict(carry.fault_counts),
+                hedges=carry.hedges,
+                hedge_wins=carry.hedge_wins,
             )
             loop.schedule(
                 state["completion"],
@@ -851,9 +913,10 @@ class ServingSimulator:
         def settle_completed(
             name: str, end: float, outcome: InvocationOutcome, record,
             release_container: bool = True,
+            cancel: Optional[Dict[str, bool]] = None,
         ) -> Callable[[], None]:
             def fire() -> None:
-                if state["dead"]:
+                if state["dead"] or (cancel is not None and cancel["cancelled"]):
                     return
                 entry = running.pop(name, None)
                 if entry is not None and entry[0] is not None and pool is not None:
@@ -869,15 +932,18 @@ class ServingSimulator:
                     outcome.elapsed_seconds, record.config
                 ) - pricing.invocation_cost(record.runtime_seconds, record.config)
                 done_work.append((outcome.elapsed_seconds, record.cost, record.config))
+                if guard is not None:
+                    guard.observe_attempt(name, end, False, outcome.elapsed_seconds)
                 finish_function(name, end)
 
             return fire
 
         def settle_killed(
-            name: str, end: float, attempt: int, outcome: InvocationOutcome, record
+            name: str, end: float, attempt: int, outcome: InvocationOutcome, record,
+            cancel: Optional[Dict[str, bool]] = None,
         ) -> Callable[[], None]:
             def fire() -> None:
-                if state["dead"]:
+                if state["dead"] or (cancel is not None and cancel["cancelled"]):
                     return
                 entry = running.pop(name, None)
                 if entry is not None and entry[0] is not None and pool is not None:
@@ -893,6 +959,8 @@ class ServingSimulator:
                 carry.wasted_gb_seconds += (
                     record.config.memory_mb / 1024.0 * outcome.elapsed_seconds
                 )
+                if guard is not None:
+                    guard.observe_attempt(name, end, True, None)
                 delay = injector.backoff_seconds(index, name, attempt, incarnation)
                 if delay is None:
                     # Retry budget exhausted: terminal failure.  Dependents
@@ -903,6 +971,189 @@ class ServingSimulator:
                 carry.retries += 1
                 retry_at = end + delay
                 loop.schedule(retry_at, start_function(name, retry_at, attempt + 1))
+
+            return fire
+
+        def launch_hedge(
+            name: str,
+            attempt: int,
+            h_start: float,
+            p_start: float,
+            p_outcome: InvocationOutcome,
+            p_end: float,
+            record,
+            cancel: Dict[str, bool],
+        ) -> Callable[[], None]:
+            """Launch the backup attempt and resolve the race.
+
+            Both fates are fully determined here (the injector is a pure
+            function of the attempt's identity), so the winner is picked
+            analytically — but every consequence is scheduled as an event
+            at its true time, so containers, billing and breaker feeds all
+            happen exactly when they would on a real platform.
+            """
+
+            def fire() -> None:
+                if (
+                    state["dead"]
+                    or name not in running
+                    or carry.hedges >= guard.max_hedges_per_request
+                ):
+                    return
+                penalty = 0.0
+                h_container = None
+                if pool is not None:
+                    h_container, cold = pool.acquire(name, record.config, h_start)
+                    if cold:
+                        penalty = self._cold_latency[name]
+                        carry.cold_count += 1
+                        carry.cold_seconds += penalty
+                carry.attempts += 1
+                carry.hedges += 1
+                h_outcome = injector.plan_invocation(
+                    index,
+                    name,
+                    HEDGE_ATTEMPT_OFFSET + attempt,
+                    record.runtime_seconds,
+                    cold_start_seconds=penalty,
+                    incarnation=incarnation,
+                )
+                h_outcome = guard.cap_stage(name, h_outcome, budgets)
+                h_end = h_start + h_outcome.elapsed_seconds
+                hkey = name + "\x00hedge"
+                running[hkey] = (h_container, h_start, record.config)
+
+                def drop(at: float, natural_kill: bool) -> Callable[[], None]:
+                    # The hedge leaves the race at ``at`` — killed by its own
+                    # fault (natural_kill) or cancelled because the primary
+                    # won.  Either way its work is waste.
+                    def fire_drop() -> None:
+                        if state["dead"]:
+                            return
+                        entry = running.pop(hkey, None)
+                        if entry is None:
+                            return
+                        elapsed = at - h_start
+                        if elapsed > 0:
+                            carry.extra_cost += pricing.invocation_cost(
+                                elapsed, record.config
+                            )
+                            carry.wasted_seconds += elapsed
+                            carry.wasted_gb_seconds += (
+                                record.config.memory_mb / 1024.0 * elapsed
+                            )
+                        if natural_kill:
+                            carry.count_fault(h_outcome.fault)
+                            guard.observe_attempt(name, at, True, None)
+                        if pool is not None and entry[0] is not None:
+                            pool.kill(entry[0])
+
+                    return fire_drop
+
+                def cancel_primary(at: float, natural_kill: bool) -> Callable[[], None]:
+                    # Re-enact the primary's exit now that its settle event is
+                    # suppressed: its own kill at ``p_end`` (natural_kill) or
+                    # cancellation the moment the hedge completes.
+                    def fire_cancel() -> None:
+                        if state["dead"]:
+                            return
+                        entry = running.pop(name, None)
+                        if entry is None:
+                            return
+                        elapsed = at - p_start
+                        if elapsed > 0:
+                            carry.extra_cost += pricing.invocation_cost(
+                                elapsed, record.config
+                            )
+                            carry.wasted_seconds += elapsed
+                            carry.wasted_gb_seconds += (
+                                record.config.memory_mb / 1024.0 * elapsed
+                            )
+                        if natural_kill:
+                            carry.count_fault(p_outcome.fault)
+                            guard.observe_attempt(name, at, True, None)
+                        if pool is not None and entry[0] is not None:
+                            pool.kill(entry[0])
+
+                    return fire_cancel
+
+                def win_fire() -> None:
+                    if state["dead"]:
+                        return
+                    entry = running.pop(hkey, None)
+                    if entry is None:
+                        return
+                    if entry[0] is not None and pool is not None:
+                        pool.release(entry[0], h_end)
+                    if h_outcome.fault is FaultKind.STRAGGLER:
+                        carry.count_fault(FaultKind.STRAGGLER)
+                    carry.extra_cost += pricing.invocation_cost(
+                        h_outcome.elapsed_seconds, record.config
+                    ) - pricing.invocation_cost(record.runtime_seconds, record.config)
+                    done_work.append(
+                        (h_outcome.elapsed_seconds, record.cost, record.config)
+                    )
+                    carry.hedge_wins += 1
+                    guard.observe_attempt(name, h_end, False, h_outcome.elapsed_seconds)
+                    finish_function(name, h_end)
+
+                def hedge_killed_retry() -> None:
+                    # Both attempts died and the hedge died last: it owns the
+                    # stage's retry decision (the primary's settle was
+                    # suppressed so the stage cannot retry twice).
+                    if state["dead"]:
+                        return
+                    entry = running.pop(hkey, None)
+                    if entry is None:
+                        return
+                    if pool is not None and entry[0] is not None:
+                        pool.kill(entry[0])
+                    carry.count_fault(h_outcome.fault)
+                    carry.extra_cost += pricing.invocation_cost(
+                        h_outcome.elapsed_seconds, record.config
+                    )
+                    carry.wasted_seconds += h_outcome.elapsed_seconds
+                    carry.wasted_gb_seconds += (
+                        record.config.memory_mb / 1024.0 * h_outcome.elapsed_seconds
+                    )
+                    guard.observe_attempt(name, h_end, True, None)
+                    delay = injector.backoff_seconds(index, name, attempt, incarnation)
+                    if delay is None:
+                        failed.add(name)
+                        finish_function(name, h_end)
+                        return
+                    carry.retries += 1
+                    retry_at = h_end + delay
+                    loop.schedule(retry_at, start_function(name, retry_at, attempt + 1))
+
+                p_ok = p_outcome.completed
+                h_ok = h_outcome.completed
+                if p_ok and (not h_ok or p_end <= h_end):
+                    # Primary wins (ties favour it); the hedge dies on its own
+                    # fault if that comes first, else is cancelled at p_end.
+                    if not h_ok and h_end <= p_end:
+                        loop.schedule(h_end, drop(h_end, True))
+                    else:
+                        loop.schedule(p_end, drop(p_end, False))
+                elif h_ok and (not p_ok or h_end < p_end):
+                    # Hedge wins: suppress the primary's scheduled settle and
+                    # re-enact its exit at the right moment.
+                    cancel["cancelled"] = True
+                    if not p_ok and p_end < h_end:
+                        loop.schedule(p_end, cancel_primary(p_end, True))
+                    else:
+                        loop.schedule(h_end, cancel_primary(h_end, False))
+                    loop.schedule(h_end, win_fire)
+                else:
+                    # Both die.  The later kill drives the retry.
+                    if p_end <= h_end:
+                        cancel["cancelled"] = True
+                        loop.schedule(p_end, cancel_primary(p_end, True))
+                        loop.schedule(h_end, hedge_killed_retry)
+                    else:
+                        loop.schedule(h_end, drop(h_end, True))
+                        # The primary's own settle_killed still fires at p_end
+                        # and retries as usual.
 
             return fire
 
@@ -954,15 +1205,37 @@ class ServingSimulator:
                     cold_start_seconds=penalty,
                     incarnation=incarnation,
                 )
+                if guard is not None:
+                    outcome = guard.cap_stage(name, outcome, budgets)
                 end = start + outcome.elapsed_seconds
                 # Track the attempt even without a container: an abort must
                 # account its partial work whether or not cold starts are
                 # simulated.
                 running[name] = (container, start, record.config)
+                cancel: Optional[Dict[str, bool]] = None
+                if guard is not None and carry.hedges < guard.max_hedges_per_request:
+                    hedge_after = guard.hedge_delay(name, outcome.elapsed_seconds)
+                    if hedge_after is not None and start + hedge_after < end:
+                        # The settle below gets a cancellation token so a
+                        # winning hedge can suppress it; the race itself is
+                        # resolved when the hedge launches.
+                        cancel = {"cancelled": False}
+                        loop.schedule(
+                            start + hedge_after,
+                            launch_hedge(
+                                name, attempt, start + hedge_after, start,
+                                outcome, end, record, cancel,
+                            ),
+                        )
                 if outcome.completed:
-                    loop.schedule(end, settle_completed(name, end, outcome, record))
+                    loop.schedule(
+                        end, settle_completed(name, end, outcome, record, cancel=cancel)
+                    )
                 else:
-                    loop.schedule(end, settle_killed(name, end, attempt, outcome, record))
+                    loop.schedule(
+                        end,
+                        settle_killed(name, end, attempt, outcome, record, cancel=cancel),
+                    )
 
             return fire
 
@@ -1059,6 +1332,30 @@ class ServingSimulator:
             if plan is not None and not plan.is_empty
             else None
         )
+        policy = self.protection
+        guard = (
+            ProtectionGuard(
+                policy,
+                function_names=self._topo_order,
+                slo_limit_seconds=(
+                    self.slo.latency_limit if self.slo is not None else None
+                ),
+                cold_latency=self._cold_latency,
+                topo_order=self._topo_order,
+                predecessors=self._predecessors,
+            )
+            if policy is not None and not policy.is_empty
+            else None
+        )
+        if guard is not None and injector is None:
+            # Protected runs need the per-attempt machinery (deadline kills,
+            # hedges, retries) even without injected faults: borrow the
+            # faulty launch path with an empty plan, which perturbs nothing.
+            injector = FaultInjector(FaultPlan.none(seed=policy.seed), fault_rng)
+        rejection_causes: Dict[str, int] = {}
+
+        def count_rejection(cause: str) -> None:
+            rejection_causes[cause] = rejection_causes.get(cause, 0) + 1
         # Fault bookkeeping: abort callbacks of in-flight launches, counters
         # carried across node-failure incarnations, and the failure count.
         inflight_aborts: Dict[int, Callable[[float], None]] = {}
@@ -1077,6 +1374,8 @@ class ServingSimulator:
             inflight_aborts.pop(outcome.index, None)
             carries.pop(outcome.index, None)
             dispatched.pop(outcome.index, None)
+            if guard is not None:
+                guard.observe_completion(outcome.service_seconds)
             if autoscaler is not None:
                 autoscaler.observe_service(outcome.service_seconds)
             if controller is not None:
@@ -1098,11 +1397,14 @@ class ServingSimulator:
                         # instead — the capacity may come back.)
                         queue.popleft()
                         rejected.append(request)
+                        count_rejection("queue-full")
                         if controller is not None:
                             controller.observe_rejection(loop.now, index)
                         continue
                     break
                 queue.popleft()
+                if guard is not None:
+                    guard.observe_dispatch(loop.now)
                 request_rng = rng.child("request", index) if rng is not None else None
                 if injector is None:
                     self._launch(
@@ -1119,6 +1421,7 @@ class ServingSimulator:
                     loop, injector, index, request, configuration, loop.now,
                     request_rng, finish_request,
                     lambda i, fn: inflight_aborts.__setitem__(i, fn), carry,
+                    guard=guard,
                 )
 
         def arrive(index: int, request: RequestArrival) -> Callable[[], None]:
@@ -1135,6 +1438,19 @@ class ServingSimulator:
                     configuration = controller.assign(index, request)
                 else:
                     configuration = configuration_for(request)
+                if guard is not None:
+                    # Protection vets the arrival before it can queue: an
+                    # open breaker, an active shed level, or an admission
+                    # verdict rejects it outright with its cause.
+                    cause = guard.admit(
+                        loop.now, request.input_class, len(queue), ledger.active
+                    )
+                    if cause is not None:
+                        rejected.append(request)
+                        count_rejection(cause)
+                        if controller is not None:
+                            controller.observe_rejection(loop.now, index)
+                        return
                 queue.append((index, request, configuration))
                 try_dispatch()
                 # The capacity bounds *waiting* requests: an arrival that
@@ -1146,6 +1462,7 @@ class ServingSimulator:
                 ):
                     dropped_index, dropped, _ = queue.pop()
                     rejected.append(dropped)
+                    count_rejection("queue-full")
                     if controller is not None:
                         controller.observe_rejection(loop.now, dropped_index)
 
@@ -1157,7 +1474,7 @@ class ServingSimulator:
         if duration_seconds is None:
             duration_seconds = max((r.arrival_time for r in request_list), default=0.0)
 
-        if injector is not None and self.cluster is not None:
+        if injector is not None and plan is not None and self.cluster is not None:
 
             def node_failure(node_name: str) -> Callable[[], None]:
                 def fire() -> None:
@@ -1209,12 +1526,22 @@ class ServingSimulator:
         metrics = self._summarize(
             outcomes, rejected, ledger, duration_seconds, len(request_list),
             node_failures=node_failure_count,
+            rejection_causes=rejection_causes,
         )
+        protection_events: List[Tuple[float, str, str]] = []
+        if guard is not None:
+            metrics.breaker_opens = guard.breaker_opens
+            metrics.deadline_kills = guard.deadline_kills
+            protection_events = guard.drain_events()
+            if controller is not None and hasattr(controller, "observe_protection"):
+                for when, kind, detail in protection_events:
+                    controller.observe_protection(when, kind, detail)
         return ServingResult(
             outcomes=outcomes,
             rejected=rejected,
             metrics=metrics,
             autoscaler_decisions=autoscaler.decisions if autoscaler is not None else [],
+            protection_events=protection_events,
         )
 
     # -- metrics ---------------------------------------------------------------
@@ -1226,6 +1553,7 @@ class ServingSimulator:
         duration_seconds: float,
         offered: int,
         node_failures: int = 0,
+        rejection_causes: Optional[Dict[str, int]] = None,
     ) -> ServingMetrics:
         latencies = [o.latency_seconds for o in outcomes]
         queueing = [o.queueing_delay for o in outcomes]
@@ -1245,6 +1573,10 @@ class ServingSimulator:
         successes = sum(1 for o in outcomes if o.succeeded)
         total_attempts = sum(o.attempts for o in outcomes)
         total_base = sum(o.base_invocations for o in outcomes)
+        if rejection_causes is None:
+            # Callers predating the protection layer (e.g. the batched
+            # engine) reject only on queue pressure.
+            rejection_causes = {"queue-full": len(rejected)} if rejected else {}
         return ServingMetrics(
             duration_seconds=duration_seconds,
             offered=offered,
@@ -1287,4 +1619,7 @@ class ServingSimulator:
                 sum(o.fault_counts.values()) for o in outcomes
             ),
             node_failures=node_failures,
+            rejected_by_cause=dict(rejection_causes),
+            hedges_launched=sum(o.hedges for o in outcomes),
+            hedge_wins=sum(o.hedge_wins for o in outcomes),
         )

@@ -49,6 +49,7 @@ from repro.execution.events import RequestArrival
 from repro.execution.events_calendar import EventCalendar
 from repro.execution.executor import WorkflowExecutor
 from repro.execution.faults import FaultPlan
+from repro.execution.protection import ProtectionPolicy
 from repro.execution.serving import (
     ServedRequest,
     ServingOptions,
@@ -57,6 +58,7 @@ from repro.execution.serving import (
     _ClusterLedger,
 )
 from repro.execution.trace import ExecutionStatus
+from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
 from repro.workflow.dag import Workflow
 from repro.workflow.resources import WorkflowConfiguration
@@ -162,6 +164,7 @@ class BatchedServingSimulator:
         slo: Optional[SLO] = None,
         options: Optional[ServingOptions] = None,
         faults: Optional[FaultPlan] = None,
+        protection: Optional[ProtectionPolicy] = None,
     ) -> None:
         self._scalar = ServingSimulator(
             workflow=workflow,
@@ -172,6 +175,7 @@ class BatchedServingSimulator:
             slo=slo,
             options=options,
             faults=faults,
+            protection=protection,
         )
         scalar = self._scalar
         self.workflow = scalar.workflow
@@ -182,6 +186,7 @@ class BatchedServingSimulator:
         self.slo = scalar.slo
         self.options = scalar.options
         self.faults = scalar.faults
+        self.protection = scalar.protection
 
     # -- template resolution ----------------------------------------------------
     def _build_templates(
@@ -228,19 +233,30 @@ class BatchedServingSimulator:
     ) -> ServingResult:
         """Serve the stream; identical signature and results to the scalar run.
 
-        Faulty, noisy, adaptive and autoscaled runs route to the scalar
-        engine per request — their per-event branching defeats cohorting,
-        and the contract is that those cohorts still match byte-for-byte.
+        Faulty, noisy, adaptive, autoscaled and *protected* runs route to
+        the scalar engine per request — their per-event branching defeats
+        cohorting, and the contract is that those cohorts still match
+        byte-for-byte.  The delegation happens before any dispatcher side
+        effect (``configuration_for`` is not called for a delegated run),
+        and the returned result records why in ``fallback_reason``.
         """
         scalar = self._scalar
         plan = scalar.faults
-        if (
-            (plan is not None and not plan.is_empty)
-            or rng is not None
-            or controller is not None
-            or scalar.options.autoscale
-        ):
-            return scalar.run(
+        policy = scalar.protection
+        reason = ""
+        if plan is not None and not plan.is_empty:
+            reason = "faults"
+        elif policy is not None and not policy.is_empty:
+            reason = "protection"
+        elif rng is not None:
+            reason = "noise"
+        elif controller is not None:
+            reason = "adaptive"
+        elif scalar.options.autoscale:
+            reason = "autoscale"
+        if reason:
+            return self._delegate(
+                reason,
                 requests,
                 configuration_for,
                 rng=rng,
@@ -258,8 +274,11 @@ class BatchedServingSimulator:
         # unsorted streams would break the backbone lane.  Both are exotic —
         # serve them on the reference engine instead of approximating.
         if not sorted_ok or (scalar.cluster is None and pool_warmed):
-            return scalar.run(
-                request_list, configuration_for, duration_seconds=duration_seconds
+            return self._delegate(
+                "unsorted-arrivals" if not sorted_ok else "warm-pool",
+                request_list,
+                configuration_for,
+                duration_seconds=duration_seconds,
             )
         if duration_seconds is None:
             duration_seconds = max(times, default=0.0)
@@ -267,6 +286,26 @@ class BatchedServingSimulator:
         if scalar.cluster is not None:
             return self._run_calendar(request_list, configs, duration_seconds)
         return self._run_cohort(request_list, configs, duration_seconds)
+
+    def _delegate(
+        self,
+        reason: str,
+        requests: Iterable[RequestArrival],
+        configuration_for: Callable[[RequestArrival], WorkflowConfiguration],
+        **kwargs,
+    ) -> ServingResult:
+        """Serve on the scalar reference engine, recording why.
+
+        The notice is logged once per delegated run so a ``--engine
+        batched`` invocation never *silently* loses its speedup; the reason
+        also lands on the result (and the rendered report) for posterity.
+        """
+        get_logger(__name__).info(
+            "batched engine: delegating run to the scalar engine (%s)", reason
+        )
+        result = self._scalar.run(requests, configuration_for, **kwargs)
+        result.fallback_reason = reason
+        return result
 
     # -- uncontended cohort path -------------------------------------------------
     def _run_cohort(

@@ -184,6 +184,12 @@ def render_serving_report(report: ServingReport) -> str:
         f"  queueing delay:      mean {metrics.queueing_mean_seconds:.2f}s, "
         f"p95 {metrics.queueing_p95_seconds:.2f}s, max {metrics.queueing_max_seconds:.2f}s",
     ]
+    causes = metrics.rejected_by_cause
+    if causes and (len(causes) > 1 or "queue-full" not in causes):
+        breakdown = ", ".join(
+            f"{cause} {count}" for cause, count in sorted(causes.items())
+        )
+        lines.append(f"  rejected by cause:   {breakdown}")
     if metrics.slo_limit_seconds is not None and metrics.slo_attainment is not None:
         lines.append(
             f"  SLO attainment:      {metrics.slo_attainment * 100:.1f}% within "
@@ -209,6 +215,23 @@ def render_serving_report(report: ServingReport) -> str:
             f"({metrics.wasted_gb_seconds:.1f} GB-s) over "
             f"{metrics.faults_injected} injected faults, "
             f"{metrics.node_failures} node failures"
+        )
+    if report.protection_description:
+        lines.append(f"  protection:          {report.protection_description}")
+        lines.append(
+            f"  degradation:         {metrics.hedges_launched} hedges "
+            f"({metrics.hedge_wins} won), {metrics.breaker_opens} breaker opens, "
+            f"{metrics.deadline_kills} deadline kills"
+        )
+        events = report.result.protection_events if report.result is not None else []
+        for when, kind, detail in events[:8]:
+            lines.append(f"    t={when:8.1f}s {kind:<16s} {detail}")
+        if len(events) > 8:
+            lines.append(f"    ... {len(events) - 8} more protection events")
+    if report.result is not None and report.result.fallback_reason:
+        lines.append(
+            "  engine fallback:     batched engine delegated to scalar "
+            f"({report.result.fallback_reason})"
         )
     if metrics.cpu_utilization is not None and metrics.memory_utilization is not None:
         lines.append(

@@ -35,6 +35,7 @@ from repro.execution.faults import (
     FixedRetry,
     get_fault_profile,
 )
+from repro.execution.protection import ProtectionPolicy, get_protection_profile
 from repro.execution.serving import (
     AutoscalerOptions,
     ServingMetrics,
@@ -55,11 +56,14 @@ __all__ = [
     "ServingReport",
     "run_serving_experiment",
     "resolve_fault_plan",
+    "resolve_protection_policy",
     "ScenarioSpec",
     "ScenarioMatrixReport",
     "build_scenario_matrix",
+    "build_protection_scenario_matrix",
     "run_scenario_matrix",
     "SCENARIO_NAMES",
+    "PROTECTION_SCENARIO_NAMES",
 ]
 
 
@@ -107,6 +111,14 @@ class ServingSettings:
         ..., or ``"default"`` for the workload's own profile), an explicit
         :class:`~repro.execution.faults.FaultPlan`, or ``None`` for a clean
         run.  Named profiles take their schedule seed from ``seed``.
+    protection:
+        Graceful-degradation policy guarding the serving layer: a named
+        profile (see
+        :data:`~repro.execution.protection.PROTECTION_PROFILE_NAMES`), an
+        explicit :class:`~repro.execution.protection.ProtectionPolicy`, or
+        ``None``/``"none"`` for the unguarded path.  Named profiles are
+        rooted at ``seed`` and adopt the workload's per-class priorities for
+        load shedding.
     backend:
         Evaluation substrate serving the request path's service traces
         (``"simulator"``, ``"parallel"`` or ``"vectorized"`` — all
@@ -160,6 +172,7 @@ class ServingSettings:
     queue_capacity: Optional[int] = None
     slo_scale: float = 1.0
     faults: Optional[Union[str, FaultPlan]] = None
+    protection: Optional[Union[str, ProtectionPolicy]] = None
     backend: str = "simulator"
     engine: str = "event"
     configuration: Optional[WorkflowConfiguration] = None
@@ -192,6 +205,8 @@ class ServingReport:
     result: Optional[ServingResult] = None
     fault_description: str = ""
     fault_plan: Optional[FaultPlan] = None
+    protection_description: str = ""
+    protection_policy: Optional[ProtectionPolicy] = None
     control: Optional[ControlSummary] = None
     initial_configuration: Optional[WorkflowConfiguration] = None
 
@@ -272,6 +287,32 @@ def resolve_fault_plan(
     return None if plan.is_empty else plan
 
 
+def resolve_protection_policy(
+    protection: Optional[Union[str, ProtectionPolicy]], workload, seed: int
+) -> Optional[ProtectionPolicy]:
+    """Turn a settings-level protection spec into a concrete policy.
+
+    Named profiles are rooted at ``seed``; explicit policies are used as
+    given (their own seed wins).  Either way the workload's per-class
+    priorities (``traffic.class_priorities``) are adopted for load shedding
+    when the policy does not pin its own.  Empty policies resolve to
+    ``None`` so the serving layer keeps its unguarded path byte-identical.
+    """
+    if protection is None:
+        return None
+    if isinstance(protection, ProtectionPolicy):
+        policy = protection
+    else:
+        policy = get_protection_profile(protection.strip().lower(), seed=seed)
+    if policy.is_empty:
+        return None
+    traffic = getattr(workload, "traffic", None)
+    priorities = getattr(traffic, "class_priorities", None)
+    if priorities:
+        policy = policy.with_priorities(priorities)
+    return policy
+
+
 def run_serving_experiment(
     workload_name: str = "video-analysis",
     settings: Optional[ServingSettings] = None,
@@ -280,6 +321,9 @@ def run_serving_experiment(
     settings = settings if settings is not None else ServingSettings()
     workload = get_workload(workload_name)
     fault_plan = resolve_fault_plan(settings.faults, workload, settings.seed)
+    protection_policy = resolve_protection_policy(
+        settings.protection, workload, settings.seed
+    )
 
     dispatcher, search_samples, engine, fixed_configuration = _prepare_dispatcher(
         workload, settings
@@ -380,6 +424,7 @@ def run_serving_experiment(
             autoscaler=settings.autoscaler,
         ),
         faults=fault_plan,
+        protection=protection_policy,
     )
     result = simulator.run(
         requests,
@@ -421,6 +466,10 @@ def run_serving_experiment(
         result=result,
         fault_description=fault_plan.describe() if fault_plan is not None else "",
         fault_plan=fault_plan,
+        protection_description=(
+            protection_policy.describe() if protection_policy is not None else ""
+        ),
+        protection_policy=protection_policy,
         control=controller.summary() if controller is not None else None,
         initial_configuration=fixed_configuration,
     )
@@ -581,6 +630,91 @@ def build_scenario_matrix(
                     retry=ExponentialBackoffRetry(max_attempts=4, base_delay_seconds=0.5),
                     seed=seed,
                 ),
+            ),
+        ),
+    ]
+
+
+#: Names of the protection scenario suite, in run order.
+PROTECTION_SCENARIO_NAMES: Tuple[str, ...] = (
+    "overload-brownout",
+    "breaker-storm",
+    "hedge-vs-stragglers",
+    "deadline-cascade",
+)
+
+
+def build_protection_scenario_matrix(
+    workload_name: str = "chatbot",
+    seed: int = 717,
+    duration_seconds: float = 200.0,
+    method: str = "base",
+    nodes: int = 4,
+    rate_rps: float = 0.15,
+) -> List[ScenarioSpec]:
+    """Build the graceful-degradation scenario suite for one workload.
+
+    Each cell pairs a stressor from the resilience matrix with the
+    protection mechanism built to absorb it, so the reports show the
+    mechanism working against the failure mode it targets: brownout sheds
+    low-priority classes under a crash-amplified overload, breakers isolate
+    a crash-storm, hedges race stragglers, and deadline budgets cut the
+    retry cascade a stretched stage would otherwise trigger.  The suite
+    shares the resilience matrix's seed discipline — every cell's traffic,
+    faults and protection all derive from ``seed``.
+    """
+    base = ServingSettings(
+        method=method,
+        arrival="constant",
+        rate_rps=rate_rps,
+        duration_seconds=duration_seconds,
+        seed=seed,
+        nodes=nodes,
+    )
+
+    def derive(**overrides) -> ServingSettings:
+        return dataclasses.replace(base, **overrides)
+
+    return [
+        ScenarioSpec(
+            "overload-brownout",
+            "crash-amplified overload browned out by admission + shedding",
+            derive(
+                queue_capacity=4,
+                faults=FaultPlan(
+                    crash_probability=0.2,
+                    retry=ExponentialBackoffRetry(max_attempts=4, base_delay_seconds=0.5),
+                    seed=seed,
+                ),
+                protection="full",
+            ),
+        ),
+        ScenarioSpec(
+            "breaker-storm",
+            "heavy crash storm tripping per-function circuit breakers",
+            derive(
+                faults=FaultPlan(
+                    crash_probability=0.35,
+                    retry=FixedRetry(max_attempts=3, delay_seconds=0.5),
+                    seed=seed,
+                ),
+                protection="breakers",
+            ),
+        ),
+        ScenarioSpec(
+            "hedge-vs-stragglers",
+            "straggler-stretched tail raced by deterministic hedges",
+            derive(
+                faults=get_fault_profile("stragglers", seed=seed),
+                protection="hedging",
+            ),
+        ),
+        ScenarioSpec(
+            "deadline-cascade",
+            "per-stage deadline budgets cut stragglers before they cascade",
+            derive(
+                faults=get_fault_profile("stragglers", seed=seed),
+                protection="deadlines",
             ),
         ),
     ]

@@ -123,6 +123,9 @@ def video_analysis_workload() -> WorkloadSpec:
             arrival="poisson",
             rate_rps=0.05,
             class_weights={"light": 0.5, "middle": 0.3, "heavy": 0.2},
+            # Under overload, shed the heavy tail first: one heavy video
+            # occupies capacity dozens of interactive clips could use.
+            class_priorities={"light": 2, "middle": 1, "heavy": 0},
         ),
         # Frame extraction over large inputs both crashes and straggles
         # (codec corner cases, slow storage reads).

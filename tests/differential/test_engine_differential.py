@@ -76,10 +76,12 @@ def assert_equivalent(reference, batched):
     # the "backend:"/bracketed lines legitimately differ).
     ref_text = render_serving_report(reference)
     fast_text = render_serving_report(batched)
+    # ... and in the engine-fallback notice (only the batched engine
+    # delegates, so only its report carries the fallback line).
     strip = lambda text: [  # noqa: E731 - tiny local helper
         line
         for line in text.splitlines()
-        if "backend:" not in line and "[" not in line
+        if "backend:" not in line and "[" not in line and "fallback" not in line
     ]
     assert strip(ref_text) == strip(fast_text)
 
@@ -163,6 +165,41 @@ class TestQuickDifferential:
             faults="crashes",
         )
         assert_equivalent(*run_pair("chatbot", settings))
+
+    def test_protected_run_routes_through_fallback(self):
+        # The batched engine refuses protected runs identically to scalar:
+        # it delegates before any dispatcher side effects, records why, and
+        # reproduces the guarded run byte for byte.
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.6,
+            duration_seconds=60.0,
+            nodes=2,
+            seed=90210,
+            queue_capacity=3,
+            protection="full",
+        )
+        reference, batched = run_pair("chatbot", settings)
+        assert_equivalent(reference, batched)
+        assert reference.result.fallback_reason == ""
+        assert batched.result.fallback_reason == "protection"
+        assert "engine fallback" in render_serving_report(batched)
+
+    def test_protection_outranks_noise_in_fallback_reason(self):
+        settings = ServingSettings(
+            method="base",
+            arrival="poisson",
+            rate_rps=0.3,
+            duration_seconds=40.0,
+            nodes=2,
+            seed=90210,
+            noise_cv=0.1,
+            protection="shedding",
+        )
+        reference, batched = run_pair("chatbot", settings)
+        assert_equivalent(reference, batched)
+        assert batched.result.fallback_reason == "protection"
 
 
 class TestEngineFactory:

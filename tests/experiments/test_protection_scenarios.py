@@ -1,0 +1,141 @@
+"""Tests for protection-policy resolution and the degradation scenario suite.
+
+The acceptance class at the bottom pins the PR's headline claim: at seed
+717 the protected ``overload-loss`` and ``chaos`` scenarios achieve
+*strictly* higher goodput and SLO attainment than their unprotected twins.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.execution.faults import get_fault_profile
+from repro.execution.protection import (
+    AdmissionControlConfig,
+    HedgingConfig,
+    ProtectionPolicy,
+    get_protection_profile,
+)
+from repro.experiments.reporting import render_scenario_matrix, render_serving_report
+from repro.experiments.serving_experiment import (
+    PROTECTION_SCENARIO_NAMES,
+    build_protection_scenario_matrix,
+    build_scenario_matrix,
+    resolve_protection_policy,
+    run_scenario_matrix,
+    run_serving_experiment,
+)
+from repro.workloads.registry import get_workload
+
+
+class TestResolveProtectionPolicy:
+    def test_none_and_empty_resolve_to_none(self):
+        chatbot = get_workload("chatbot")
+        assert resolve_protection_policy(None, chatbot, 1) is None
+        assert resolve_protection_policy("none", chatbot, 1) is None
+        assert resolve_protection_policy(ProtectionPolicy.none(), chatbot, 1) is None
+
+    def test_named_profile_takes_the_run_seed(self):
+        policy = resolve_protection_policy("full", get_workload("chatbot"), 99)
+        assert policy is not None and policy.seed == 99
+        assert policy.admission is not None
+
+    def test_explicit_policy_passes_through_with_its_own_seed(self):
+        explicit = ProtectionPolicy(admission=AdmissionControlConfig(), seed=7)
+        resolved = resolve_protection_policy(explicit, get_workload("chatbot"), 99)
+        assert resolved is not None and resolved.seed == 7
+
+    def test_workload_priorities_are_adopted_for_shedding(self):
+        # video-analysis declares per-class priorities on its traffic
+        # profile; a shedding policy without its own must pick them up.
+        policy = resolve_protection_policy(
+            "shedding", get_workload("video-analysis"), 5
+        )
+        assert policy is not None and policy.shedding is not None
+        assert policy.shedding.priorities == {"light": 2, "middle": 1, "heavy": 0}
+
+
+@pytest.mark.slow
+class TestProtectionScenarioSuite:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_scenario_matrix(
+            "chatbot",
+            seed=717,
+            scenarios=build_protection_scenario_matrix(
+                "chatbot", seed=717, duration_seconds=120.0
+            ),
+        )
+
+    def test_suite_covers_all_named_scenarios(self, matrix):
+        assert tuple(spec.name for spec in matrix.scenarios) == (
+            PROTECTION_SCENARIO_NAMES
+        )
+        assert set(matrix.reports) == set(PROTECTION_SCENARIO_NAMES)
+
+    def test_every_cell_carries_its_protection_policy(self, matrix):
+        for name in PROTECTION_SCENARIO_NAMES:
+            report = matrix.report(name)
+            assert report.protection_description != ""
+
+    def test_render_mentions_every_scenario(self, matrix):
+        text = render_scenario_matrix(matrix)
+        for name in PROTECTION_SCENARIO_NAMES:
+            assert name in text
+
+
+@pytest.mark.slow
+class TestProtectionAcceptance:
+    """Protected twins strictly beat unprotected ones at the pinned seed.
+
+    The overload twin uses the scenario matrix's own ``overload-loss`` cell
+    with the ``full`` profile (admission control keeps hopeless arrivals
+    out of the tight queue).  The chaos twin serves under the ``chaos``
+    fault profile at a 2x brown-out SLO — chaos service times start near
+    230s against the nominal 120s chatbot SLO, so attainment at 1x is
+    structurally zero for protected and unprotected alike — with a mild
+    admission bound plus aggressive hedging to race the stragglers.
+    """
+
+    @staticmethod
+    def overload_settings():
+        specs = {spec.name: spec for spec in build_scenario_matrix("chatbot", seed=717)}
+        return specs["overload-loss"].settings
+
+    def test_protected_overload_loss_beats_unprotected_twin(self):
+        unprotected = run_serving_experiment("chatbot", self.overload_settings())
+        protected_settings = dataclasses.replace(
+            self.overload_settings(),
+            protection=get_protection_profile("full", seed=717),
+        )
+        protected = run_serving_experiment("chatbot", protected_settings)
+        assert protected.metrics.goodput_rps > unprotected.metrics.goodput_rps
+        assert protected.metrics.slo_attainment > unprotected.metrics.slo_attainment
+        assert "admission" in protected.metrics.rejected_by_cause
+        assert "protection:" in render_serving_report(protected)
+
+    def test_protected_chaos_beats_unprotected_twin(self):
+        chaos_base = dataclasses.replace(
+            self.overload_settings(),
+            queue_capacity=None,
+            slo_scale=2.0,
+            faults=get_fault_profile("chaos", seed=717),
+        )
+        brownout = ProtectionPolicy(
+            admission=AdmissionControlConfig(max_estimated_wait_seconds=1300.0),
+            hedging=HedgingConfig(
+                straggler_percentile=50.0,
+                min_observations=4,
+                max_hedges_per_request=3,
+                history=64,
+            ),
+            seed=717,
+        )
+        unprotected = run_serving_experiment("chatbot", chaos_base)
+        protected = run_serving_experiment(
+            "chatbot", dataclasses.replace(chaos_base, protection=brownout)
+        )
+        assert protected.metrics.goodput_rps > unprotected.metrics.goodput_rps
+        assert protected.metrics.slo_attainment > unprotected.metrics.slo_attainment
+        assert protected.metrics.hedges_launched > 0
+        assert protected.metrics.hedge_wins > 0

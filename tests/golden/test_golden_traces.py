@@ -20,7 +20,8 @@ import os
 import pytest
 
 from repro.control.controller import ControllerOptions
-from repro.execution.faults import FaultPlan
+from repro.execution.faults import ExponentialBackoffRetry, FaultPlan, FixedRetry
+from repro.execution.protection import ProtectionPolicy
 from repro.experiments.harness import ExperimentSettings, build_objective, make_searcher
 from repro.experiments.serving_experiment import ServingSettings, run_serving_experiment
 from repro.workflow.serialization import configuration_to_dict
@@ -111,11 +112,13 @@ def adaptive_snapshot(rollout_options=None):
     }
 
 
-def serving_snapshot(faults=None, adaptive_null=False):
+def serving_snapshot(faults=None, adaptive_null=False, protection=None):
     """Run the pinned serving experiment and flatten it to JSON-safe data."""
     settings = SERVING_SETTINGS
     if faults is not None:
         settings = dataclasses.replace(settings, faults=faults)
+    if protection is not None:
+        settings = dataclasses.replace(settings, protection=protection)
     if adaptive_null:
         # The full adaptive machinery with a detector that never fires: must
         # be indistinguishable from the static run.
@@ -162,6 +165,84 @@ def serving_snapshot(faults=None, adaptive_null=False):
             "warm_hits": report.backend_stats.warm_hits,
             "evictions": report.backend_stats.evictions,
         },
+    }
+
+
+#: Protected-run goldens.  The overload settings mirror the
+#: ``overload-brownout`` scenario cell (tight queue + crashes + the ``full``
+#: protection profile); the breaker-storm settings drive a crash rate past
+#: the ``breakers`` profile's failure threshold so the fixtures pin actual
+#: breaker state transitions, not just the clean path.
+PROTECTED_OVERLOAD_SETTINGS = dataclasses.replace(
+    SERVING_SETTINGS,
+    rate_rps=0.6,
+    queue_capacity=4,
+    faults=FaultPlan(
+        crash_probability=0.2,
+        retry=ExponentialBackoffRetry(max_attempts=4, base_delay_seconds=0.5),
+        seed=SERVING_SETTINGS.seed,
+    ),
+    protection="full",
+)
+
+BREAKER_STORM_SETTINGS = dataclasses.replace(
+    SERVING_SETTINGS,
+    faults=FaultPlan(
+        crash_probability=0.5,
+        retry=FixedRetry(max_attempts=2, delay_seconds=0.5),
+        seed=SERVING_SETTINGS.seed,
+    ),
+    protection="breakers",
+)
+
+
+def protection_snapshot(settings):
+    """Run a protected serving experiment and flatten it to JSON-safe data.
+
+    On top of the per-request trace this records the degradation
+    bookkeeping — rejection causes, hedge/breaker/deadline counters and the
+    timestamped protection events — so a refresh that silently stops
+    protecting would change the fixture visibly.
+    """
+    report = run_serving_experiment("chatbot", settings)
+    metrics = report.metrics
+    return {
+        "workload": report.workload,
+        "traffic": report.traffic_description,
+        "protection": report.protection_description,
+        "requests": [
+            {
+                "index": outcome.index,
+                "arrival": outcome.arrival_time,
+                "dispatch": outcome.dispatch_time,
+                "completion": outcome.completion_time,
+                "cost": outcome.cost,
+                "succeeded": outcome.succeeded,
+                "attempts": outcome.attempts,
+                "hedges": outcome.hedges,
+                "hedge_wins": outcome.hedge_wins,
+            }
+            for outcome in report.result.outcomes
+        ],
+        "rejected": len(report.result.rejected),
+        "rejected_by_cause": dict(metrics.rejected_by_cause),
+        "metrics": {
+            "completed": metrics.completed,
+            "throughput_rps": metrics.throughput_rps,
+            "latency_p50": metrics.latency_p50_seconds,
+            "latency_p99": metrics.latency_p99_seconds,
+            "queueing_mean": metrics.queueing_mean_seconds,
+            "slo_attainment": metrics.slo_attainment,
+            "total_cost": metrics.total_cost,
+            "hedges_launched": metrics.hedges_launched,
+            "hedge_wins": metrics.hedge_wins,
+            "breaker_opens": metrics.breaker_opens,
+            "deadline_kills": metrics.deadline_kills,
+        },
+        "protection_events": [
+            [when, kind, detail]
+            for when, kind, detail in report.result.protection_events
+        ],
     }
 
 
@@ -273,6 +354,47 @@ class TestServingGolden:
             "serving_chatbot.json",
             serving_snapshot(adaptive_null=True),
             update=False,
+        )
+
+
+class TestProtectionGolden:
+    def test_empty_protection_policy_reproduces_golden_bit_identically(
+        self, golden_dir, update_golden
+    ):
+        """The protection layer's core invariant, asserted against the recording.
+
+        A run with an *empty* :class:`ProtectionPolicy` must be
+        indistinguishable from the recorded unprotected behaviour — never
+        refreshed from its own output, so it cannot drift along with the
+        clean-path fixture.
+        """
+        if update_golden:
+            pytest.skip("fixture is owned by the fault-free serving test")
+        check_golden(
+            golden_dir,
+            "serving_chatbot.json",
+            serving_snapshot(protection=ProtectionPolicy.none()),
+            update=False,
+        )
+
+    def test_protected_overload_run_matches_golden(self, golden_dir, update_golden):
+        snapshot = protection_snapshot(PROTECTED_OVERLOAD_SETTINGS)
+        # The fixture must pin actual degradation decisions — a refresh
+        # that silently stops protecting would defeat the test.
+        assert sum(snapshot["rejected_by_cause"].values()) == snapshot["rejected"]
+        assert set(snapshot["rejected_by_cause"]) - {"queue-full"}
+        check_golden(
+            golden_dir, "serving_protected_overload.json", snapshot, update_golden
+        )
+
+    def test_breaker_storm_run_matches_golden(self, golden_dir, update_golden):
+        snapshot = protection_snapshot(BREAKER_STORM_SETTINGS)
+        assert snapshot["metrics"]["breaker_opens"] >= 1
+        assert any(
+            kind.startswith("breaker-") for _, kind, _ in snapshot["protection_events"]
+        )
+        check_golden(
+            golden_dir, "serving_breaker_storm.json", snapshot, update_golden
         )
 
 

@@ -1,0 +1,236 @@
+"""Hypothesis property tests for the graceful-degradation layer.
+
+Three invariants the protection subsystem promises:
+
+* conservation — under any combination of admission control, breakers,
+  shedding, hedging and deadlines, every offered request ends exactly once
+  (completed or rejected-with-cause); hedge duplicates never surface as
+  extra requests;
+* breaker determinism — the circuit-breaker state machine is independent
+  of the order in which same-timestamp attempt records arrive (the event
+  loop's tie-break can never leak into breaker decisions);
+* an empty policy leaves the serving layer byte-identical to running with
+  no protection at all (mirrors the empty-fault-plan invariant).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.backend import SimulatorBackend
+from repro.execution.cluster import Cluster
+from repro.execution.events import RequestArrival
+from repro.execution.protection import (
+    REJECTION_CAUSES,
+    AdmissionControlConfig,
+    CircuitBreakerConfig,
+    DeadlineConfig,
+    HedgingConfig,
+    LoadSheddingConfig,
+    ProtectionPolicy,
+    _Breaker,
+)
+from repro.execution.serving import ServingOptions, ServingSimulator
+from repro.perfmodel.analytic import FunctionProfile
+from repro.perfmodel.registry import PerformanceModelRegistry
+from repro.pricing.model import PAPER_PRICING
+from repro.utils.rng import RngStream
+from repro.workflow.dag import FunctionSpec, Workflow
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workflow.slo import SLO
+
+# Small diamond workflow at module scope (hypothesis forbids function-scoped
+# fixtures inside @given tests); read-only, freshly executed per run.
+
+DIAMOND_WORKFLOW = Workflow(
+    name="protection-diamond",
+    functions=[
+        FunctionSpec("entry"),
+        FunctionSpec("left"),
+        FunctionSpec("right"),
+        FunctionSpec("exit"),
+    ],
+    edges=[("entry", "left"), ("entry", "right"), ("left", "exit"), ("right", "exit")],
+)
+
+DIAMOND_REGISTRY = PerformanceModelRegistry.from_profiles(
+    [
+        FunctionProfile(
+            name="entry", cpu_seconds=1.0, io_seconds=1.0, parallel_fraction=0.5,
+            working_set_mb=128.0, comfortable_memory_mb=192.0,
+        ),
+        FunctionProfile(
+            name="left", cpu_seconds=8.0, io_seconds=1.0, parallel_fraction=0.9,
+            max_parallelism=8.0, working_set_mb=256.0, comfortable_memory_mb=384.0,
+        ),
+        FunctionProfile(
+            name="right", cpu_seconds=4.0, io_seconds=2.0, parallel_fraction=0.5,
+            working_set_mb=192.0, comfortable_memory_mb=256.0,
+        ),
+        FunctionProfile(
+            name="exit", cpu_seconds=2.0, io_seconds=1.0, parallel_fraction=0.5,
+            working_set_mb=128.0, comfortable_memory_mb=192.0,
+        ),
+    ]
+)
+
+
+def serve(protection, n_requests=14, nodes=2, seed=5, queue_capacity=None):
+    from repro.execution.executor import WorkflowExecutor
+
+    executor = WorkflowExecutor(
+        performance_model=DIAMOND_REGISTRY, pricing=PAPER_PRICING
+    )
+    simulator = ServingSimulator(
+        workflow=DIAMOND_WORKFLOW,
+        executor=executor,
+        backend=SimulatorBackend(executor),
+        cluster=Cluster.homogeneous(
+            nodes, vcpu_per_node=8.0, memory_per_node_mb=8192.0
+        ),
+        slo=SLO(latency_limit=60.0),
+        options=ServingOptions(queue_capacity=queue_capacity),
+        protection=protection,
+    )
+    configuration = WorkflowConfiguration.uniform(
+        DIAMOND_WORKFLOW.function_names, ResourceConfig(vcpu=2.0, memory_mb=1024.0)
+    )
+    gaps = RngStream(seed, "gaps")
+    t = 0.0
+    requests = []
+    for _ in range(n_requests):
+        requests.append(RequestArrival(arrival_time=t))
+        t += gaps.exponential(3.0)
+    return simulator.run(requests, lambda _request: configuration)
+
+
+def outcome_signature(result):
+    return [
+        (
+            outcome.index,
+            outcome.dispatch_time,
+            outcome.completion_time,
+            outcome.cost,
+            outcome.cold_start_count,
+            outcome.cold_start_seconds,
+            outcome.succeeded,
+            outcome.hedges,
+            outcome.hedge_wins,
+        )
+        for outcome in result.outcomes
+    ]
+
+
+@st.composite
+def protection_policies(draw):
+    """A random non-empty combination of protection mechanisms."""
+    admission = breaker = shedding = hedging = deadline = None
+    if draw(st.booleans()):
+        admission = AdmissionControlConfig(
+            max_inflight_requests=draw(st.integers(min_value=2, max_value=12)),
+            max_estimated_wait_seconds=draw(
+                st.floats(min_value=5.0, max_value=120.0)
+            ),
+        )
+    if draw(st.booleans()):
+        breaker = CircuitBreakerConfig(
+            window_seconds=draw(st.floats(min_value=5.0, max_value=60.0)),
+            failure_threshold=draw(st.floats(min_value=0.2, max_value=0.9)),
+            min_attempts=draw(st.integers(min_value=2, max_value=8)),
+            open_seconds=draw(st.floats(min_value=2.0, max_value=30.0)),
+        )
+    if draw(st.booleans()):
+        shedding = LoadSheddingConfig(
+            queue_high=draw(st.integers(min_value=2, max_value=10)),
+            queue_low=1,
+            sustain_seconds=draw(st.floats(min_value=0.0, max_value=10.0)),
+        )
+    if draw(st.booleans()):
+        hedging = HedgingConfig(
+            straggler_percentile=draw(st.floats(min_value=50.0, max_value=95.0)),
+            min_observations=draw(st.integers(min_value=2, max_value=8)),
+            max_hedges_per_request=draw(st.integers(min_value=1, max_value=2)),
+        )
+    if draw(st.booleans()):
+        deadline = DeadlineConfig(
+            slo_fraction=draw(st.floats(min_value=0.5, max_value=2.0)),
+            stage_slack=draw(st.floats(min_value=1.0, max_value=3.0)),
+        )
+    return ProtectionPolicy(
+        admission=admission,
+        breaker=breaker,
+        shedding=shedding,
+        hedging=hedging,
+        deadline=deadline,
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+class TestConservation:
+    @given(policy=protection_policies(), seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_every_offered_request_ends_exactly_once(self, policy, seed):
+        result = serve(policy, seed=seed, queue_capacity=4)
+        metrics = result.metrics
+        # Conservation: arrivals == completed + rejected; hedge duplicates
+        # race inside their own request and never surface as extra requests.
+        assert len(result.outcomes) + len(result.rejected) == metrics.offered
+        indices = [outcome.index for outcome in result.outcomes]
+        assert len(indices) == len(set(indices))
+        # Every rejection is attributed to exactly one known cause.
+        assert sum(metrics.rejected_by_cause.values()) == metrics.rejected
+        assert set(metrics.rejected_by_cause) <= set(REJECTION_CAUSES)
+        # Hedge accounting is internally consistent.
+        assert metrics.hedge_wins <= metrics.hedges_launched
+        assert sum(o.hedges for o in result.outcomes) == metrics.hedges_launched
+
+
+class TestBreakerDeterminism:
+    @given(
+        outcomes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),  # coarse timestamp
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=24,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_time_records_commute(self, outcomes, data):
+        config = CircuitBreakerConfig(
+            window_seconds=10.0,
+            failure_threshold=0.5,
+            min_attempts=3,
+            open_seconds=4.0,
+            half_open_probes=2,
+        )
+        # Records must arrive in nondecreasing time order (as the event
+        # loop guarantees); only same-timestamp ties may be reordered.
+        ordered = sorted(outcomes, key=lambda pair: pair[0])
+        shuffled = data.draw(
+            st.permutations(ordered).filter(
+                lambda perm: [p[0] for p in perm] == [p[0] for p in ordered]
+            )
+        )
+        first, second = _Breaker(config), _Breaker(config)
+        for t, killed in ordered:
+            first.record(float(t), killed)
+        for t, killed in shuffled:
+            second.record(float(t), killed)
+        horizon = float(max(t for t, _ in outcomes)) + 1.0
+        assert first.allow(horizon) == second.allow(horizon)
+        assert first.state == second.state
+        assert first.opens == second.opens
+        assert first.transitions == second.transitions
+
+
+class TestEmptyPolicyParity:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_empty_policy_is_byte_identical_to_no_guard(self, seed):
+        clean = serve(protection=None, seed=seed)
+        empty = serve(protection=ProtectionPolicy.none(seed=seed), seed=seed)
+        assert outcome_signature(clean) == outcome_signature(empty)
+        assert clean.metrics == empty.metrics
+        assert empty.protection_events == []

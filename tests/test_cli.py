@@ -243,3 +243,40 @@ class TestAdaptiveCommands:
         output = capsys.readouterr().out
         assert "drift scenario suite" in output
         assert "adaptive beats static" in output
+
+
+class TestProtectionCommands:
+    def test_serve_protection_flag_parses(self):
+        assert build_parser().parse_args(["serve"]).protection is None
+        args = build_parser().parse_args(["serve", "--protection", "full"])
+        assert args.protection == "full"
+
+    def test_serve_rejects_unknown_protection_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--protection", "fortress"])
+
+    def test_scenarios_protection_suite_flag_parses(self):
+        args = build_parser().parse_args(["scenarios", "--suite", "protection"])
+        assert args.suite == "protection"
+
+    def test_serve_with_protection_prints_degradation_block(self, capsys):
+        assert main(
+            ["serve", "--workload", "chatbot", "--method", "base",
+             "--arrival", "constant", "--rate", "0.5", "--duration", "40",
+             "--nodes", "2", "--seed", "7", "--protection", "full"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "protection:" in output
+        assert "degradation:" in output
+
+    @pytest.mark.slow
+    def test_scenarios_protection_suite_runs(self, capsys):
+        assert main(
+            ["scenarios", "--suite", "protection", "--seed", "717",
+             "--duration", "120"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "overload-brownout" in output
+        assert "breaker-storm" in output
+        assert "hedge-vs-stragglers" in output
+        assert "deadline-cascade" in output
