@@ -41,9 +41,15 @@ from repro.control.drift import DRIFT_DETECTOR_NAMES
 from repro.control.rollout import ROLLOUT_POLICY_NAMES
 from repro.execution.backend import BACKEND_NAMES
 from repro.execution.faults import FAULT_PROFILE_NAMES
+from repro.execution.fleet import PLACEMENT_POLICIES
 from repro.execution.protection import PROTECTION_PROFILE_NAMES
 from repro.execution.serving_vectorized import SERVING_ENGINE_NAMES
 from repro.experiments.adaptive_experiment import run_drift_suite
+from repro.experiments.fleet_experiment import (
+    FLEET_SCENARIO_NAMES,
+    run_fleet_scenario,
+    run_fleet_suite,
+)
 from repro.experiments.harness import (
     DEFAULT_METHODS,
     ExperimentSettings,
@@ -54,6 +60,8 @@ from repro.experiments.motivation import decoupling_heatmap
 from repro.experiments.reporting import (
     render_backend_stats,
     render_drift_suite,
+    render_fleet_result,
+    render_fleet_suite,
     render_heatmap,
     render_scenario_matrix,
     render_serving_report,
@@ -226,10 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--suite", default="resilience",
-        choices=["resilience", "drift", "protection"],
+        choices=["resilience", "drift", "protection", "fleet"],
         help="scenario family: fault resilience, drift-aware adaptive "
              "serving (drift ignores --workload/--method/--nodes/--rate), "
-             "or the graceful-degradation protection suite",
+             "the graceful-degradation protection suite, or the "
+             "multi-tenant fleet suite (fleet ignores the same knobs)",
     )
     scenarios.add_argument(
         "--workload", default="chatbot",
@@ -241,8 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="configuration source shared by every scenario",
     )
     scenarios.add_argument(
-        "--duration", type=float, default=200.0,
-        help="traffic horizon in simulated seconds per scenario",
+        "--duration", type=float, default=None,
+        help="traffic horizon in simulated seconds per scenario "
+             "(default: 200, or each fleet scenario's own horizon)",
     )
     scenarios.add_argument(
         "--nodes", type=positive_int, default=4,
@@ -259,6 +269,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--seed", dest="scenarios_seed", type=int, default=None,
+        help="experiment seed (same as the global --seed)",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="serve a multi-tenant fleet scenario on a heterogeneous cluster",
+    )
+    fleet.add_argument(
+        "--scenario", default="noisy-neighbor", choices=list(FLEET_SCENARIO_NAMES),
+        help="named fleet scenario (tenants, cluster and knobs are built in)",
+    )
+    fleet.add_argument(
+        "--policy", default=None, choices=list(PLACEMENT_POLICIES),
+        help="run a single placement policy instead of the scenario's "
+             "comparison pair",
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=None,
+        help="traffic horizon in simulated seconds (default: the scenario's)",
+    )
+    fleet.add_argument(
+        "--seed", dest="fleet_seed", type=int, default=None,
         help="experiment seed (same as the global --seed)",
     )
 
@@ -397,6 +429,12 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.suite == "drift":
         print(render_drift_suite(run_drift_suite(seed=seed)))
         return 0
+    if args.suite == "fleet":
+        # None lets each fleet scenario keep its own horizon (the flash-crowd
+        # ramp, e.g., only starts at t=240s); --duration still overrides.
+        print(render_fleet_suite(run_fleet_suite(seed=seed, duration_seconds=args.duration)))
+        return 0
+    duration = args.duration if args.duration is not None else 200.0
     if args.suite == "protection":
         matrix = run_scenario_matrix(
             args.workload,
@@ -405,7 +443,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             scenarios=build_protection_scenario_matrix(
                 args.workload,
                 seed=seed,
-                duration_seconds=args.duration,
+                duration_seconds=duration,
                 method=args.method,
                 nodes=args.nodes,
                 rate_rps=args.rate,
@@ -416,13 +454,28 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     matrix = run_scenario_matrix(
         args.workload,
         seed=seed,
-        duration_seconds=args.duration,
+        duration_seconds=duration,
         method=args.method,
         nodes=args.nodes,
         rate_rps=args.rate,
         workers=args.workers,
     )
     print(render_scenario_matrix(matrix))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    seed = args.fleet_seed if args.fleet_seed is not None else args.seed
+    policies = [args.policy] if args.policy is not None else None
+    result = run_fleet_scenario(
+        args.scenario,
+        seed=seed,
+        duration_seconds=args.duration,
+        policies=policies,
+    )
+    print(f"fleet scenario {result.name!r} — {result.description} (seed {seed})")
+    for policy, run in result.runs.items():
+        print(render_fleet_result(run, title=f"policy: {policy}"))
     return 0
 
 
@@ -434,6 +487,7 @@ _COMMANDS = {
     "heatmap": _cmd_heatmap,
     "serve": _cmd_serve,
     "scenarios": _cmd_scenarios,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -342,7 +342,12 @@ class ReconfigurationController:
         seed: int = 2025,
         config_space: Optional[ConfigurationSpace] = None,
         base_config: Optional[ResourceConfig] = None,
+        name: str = "",
     ) -> None:
+        # Fleet serving runs one controller per tenant, often against one
+        # shared memoizing backend; the name namespaces cache contexts (and
+        # labels reports) so tenants never read back each other's entries.
+        self.name = str(name)
         self.workflow = workflow
         self.slo = slo
         self.detector = detector
@@ -595,7 +600,10 @@ class ReconfigurationController:
         if callable(set_context):
             # Key this re-tune's cached evaluations on the observed phase so
             # entries from other phases are never read back.
-            set_context(snapshot.signature())
+            signature = snapshot.signature()
+            if self.name:
+                signature = f"{self.name}|{signature}"
+            set_context(signature)
         bo = self.options.retune_method.strip().upper() == "BO"
         return MixtureObjective(
             workflow=self.workflow,

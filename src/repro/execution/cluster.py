@@ -25,7 +25,13 @@ class PlacementError(RuntimeError):
 
 @dataclass
 class Node:
-    """A worker node with finite CPU and memory capacity."""
+    """A worker node with finite CPU and memory capacity.
+
+    ``instance_type`` names the catalog shape the node was provisioned from
+    (``None`` for ad-hoc homogeneous nodes); ``price_multiplier`` scales
+    per-request billing for work hosted on this node, and ``spot`` marks
+    preemptible capacity subject to eviction schedules.
+    """
 
     name: str
     vcpu_capacity: float
@@ -34,6 +40,9 @@ class Node:
     memory_used_mb: float = 0.0
     placements: List[Tuple[str, ResourceConfig]] = field(default_factory=list)
     healthy: bool = True
+    instance_type: Optional[str] = None
+    price_multiplier: float = 1.0
+    spot: bool = False
 
     def __post_init__(self) -> None:
         if self.vcpu_capacity <= 0 or self.memory_capacity_mb <= 0:
@@ -133,6 +142,25 @@ class Cluster:
         """Aggregate memory capacity."""
         return sum(n.memory_capacity_mb for n in self._nodes.values())
 
+    @property
+    def total_healthy_vcpu_capacity(self) -> float:
+        """Aggregate CPU capacity over nodes currently accepting placements."""
+        return sum(n.vcpu_capacity for n in self._nodes.values() if n.healthy)
+
+    @property
+    def total_healthy_memory_capacity_mb(self) -> float:
+        """Aggregate memory capacity over nodes currently accepting placements."""
+        return sum(n.memory_capacity_mb for n in self._nodes.values() if n.healthy)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether nodes differ in shape (capacity, pricing, or spot status)."""
+        shapes = {
+            (n.vcpu_capacity, n.memory_capacity_mb, n.price_multiplier, n.spot)
+            for n in self._nodes.values()
+        }
+        return len(shapes) > 1
+
     def placement_of(self, function_name: str) -> Optional[str]:
         """Name of the node hosting a function's container, if any."""
         for node in self._nodes.values():
@@ -225,9 +253,19 @@ def affinity_aware_placement(
     """
     affinities = dict(affinities or {})
 
+    # Normalise by the capacity actually available: failed nodes cannot host
+    # containers, and counting them shrinks every share by the same *absolute*
+    # amount — which reorders heterogeneous configs whose dominant dimension
+    # differs (the cpu- and memory-capacity pools shrink by different factors).
+    cpu_capacity = cluster.total_healthy_vcpu_capacity
+    mem_capacity = cluster.total_healthy_memory_capacity_mb
+    if cpu_capacity <= 0 or mem_capacity <= 0:
+        cpu_capacity = cluster.total_vcpu_capacity
+        mem_capacity = cluster.total_memory_capacity_mb
+
     def dominant_share(config: ResourceConfig) -> float:
-        cpu_share = config.vcpu / cluster.total_vcpu_capacity
-        mem_share = config.memory_mb / cluster.total_memory_capacity_mb
+        cpu_share = config.vcpu / cpu_capacity
+        mem_share = config.memory_mb / mem_capacity
         return max(cpu_share, mem_share)
 
     assignment: Dict[str, str] = {}

@@ -179,6 +179,26 @@ class ContainerPool:
         self._remove(container)
         self._stats.evictions += 1
 
+    def evict_node(self, node_name: str) -> int:
+        """Discard every idle warm container resident on one node.
+
+        Node failures and spot evictions destroy the warm state living on
+        the node.  Checked-out containers die through :meth:`kill` on the
+        fault path; this retires the *idle* ones so a request never takes a
+        warm start from a machine that is gone.  Containers with no recorded
+        ``node_name`` are untouched.  Returns the number evicted.
+        """
+        victims = [
+            container
+            for pool in self._containers.values()
+            for container in pool.values()
+            if container.node_name == node_name
+        ]
+        for container in victims:
+            self._remove(container)
+        self._stats.evictions += len(victims)
+        return len(victims)
+
     def kill(self, container: Container) -> None:
         """Record the fault-kill of a checked-out container.
 

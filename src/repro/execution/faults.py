@@ -44,6 +44,7 @@ __all__ = [
     "ExponentialBackoffRetry",
     "FaultPlan",
     "FaultInjector",
+    "poisson_node_event_schedule",
     "FAULT_PROFILE_NAMES",
     "get_fault_profile",
 ]
@@ -439,13 +440,33 @@ class FaultInjector:
         ):
             return []
         stream = self._rng.child("node-failures")
-        mean_gap = 3600.0 / self.plan.node_failures_per_hour
-        events: List[Tuple[float, str]] = []
-        t = stream.exponential(mean_gap)
-        while t < duration_seconds:
-            events.append((t, str(stream.choice(list(node_names)))))
-            t += stream.exponential(mean_gap)
-        return events
+        return poisson_node_event_schedule(
+            stream, duration_seconds, self.plan.node_failures_per_hour, node_names
+        )
+
+
+def poisson_node_event_schedule(
+    stream: RngStream,
+    duration_seconds: float,
+    events_per_hour: float,
+    node_names: Sequence[str],
+) -> List[Tuple[float, str]]:
+    """Draw a time-sorted ``(time, node)`` Poisson event schedule.
+
+    Events arrive at ``events_per_hour`` across the whole node set; each one
+    strikes a uniformly chosen node.  Fully determined by ``stream``.  Shared
+    by node-failure plans and spot-eviction schedules so both compose on the
+    same downtime machinery.
+    """
+    if events_per_hour <= 0 or duration_seconds <= 0 or not node_names:
+        return []
+    mean_gap = 3600.0 / events_per_hour
+    events: List[Tuple[float, str]] = []
+    t = stream.exponential(mean_gap)
+    while t < duration_seconds:
+        events.append((t, str(stream.choice(list(node_names)))))
+        t += stream.exponential(mean_gap)
+    return events
 
 
 # -- named profiles ---------------------------------------------------------------

@@ -260,6 +260,30 @@ class ProtectionPolicy:
         """The empty policy: protects nothing, perturbs nothing."""
         return cls(seed=seed)
 
+    @classmethod
+    def for_tenants(
+        cls,
+        priorities: Mapping[str, int],
+        queue_high: int = 8,
+        queue_low: int = 2,
+        seed: int = 2025,
+    ) -> "ProtectionPolicy":
+        """A shedding-only policy keyed by *tenant* name.
+
+        Fleet serving passes the tenant name as the guard's input class, so
+        the hysteretic shedder drops the lowest-priority tenants first when
+        the shared queue backs up — per-tenant shed priorities without any
+        per-function machinery.
+        """
+        return cls(
+            shedding=LoadSheddingConfig(
+                queue_high=queue_high,
+                queue_low=queue_low,
+                priorities=dict(priorities),
+            ),
+            seed=seed,
+        )
+
     @property
     def is_empty(self) -> bool:
         """Whether this policy can never influence a run."""

@@ -367,6 +367,9 @@ class _ClusterLedger:
         self._cpu_area = 0.0
         self._mem_area = 0.0
         self._concurrency_area = 0.0
+        self._cap_cpu_area = 0.0
+        self._cap_mem_area = 0.0
+        self._saw_unhealthy_window = False
         self._placements: Dict[int, List[Tuple[Node, str]]] = {}
 
     # -- time integration -------------------------------------------------------
@@ -378,6 +381,22 @@ class _ClusterLedger:
         if self.cluster is not None:
             self._cpu_area += sum(n.vcpu_used for n in self.cluster.nodes) * dt
             self._mem_area += sum(n.memory_used_mb for n in self.cluster.nodes) * dt
+            # Capacity that could actually have hosted work over this window:
+            # failed nodes contribute nothing, so node-storm runs no longer
+            # deflate reported utilization by dividing by ghost capacity.
+            cap_cpu = 0.0
+            cap_mem = 0.0
+            all_healthy = True
+            for n in self.cluster.nodes:
+                if n.healthy:
+                    cap_cpu += n.vcpu_capacity
+                    cap_mem += n.memory_capacity_mb
+                else:
+                    all_healthy = False
+            self._cap_cpu_area += cap_cpu * dt
+            self._cap_mem_area += cap_mem * dt
+            if not all_healthy:
+                self._saw_unhealthy_window = True
         self._concurrency_area += self.active * dt
         self._last_time = now
 
@@ -481,6 +500,16 @@ class _ClusterLedger:
         mean_concurrency = self._concurrency_area / span
         if self.cluster is None:
             return None, None, mean_concurrency
+        if self._saw_unhealthy_window and self._cap_cpu_area > 0 and self._cap_mem_area > 0:
+            # Healthy-capacity time-area denominator: windows with failed
+            # nodes count only the capacity that was actually up.
+            cpu = self._cpu_area / self._cap_cpu_area
+            mem = self._mem_area / self._cap_mem_area
+            return cpu, mem, mean_concurrency
+        # No node was ever down: keep the closed-form denominator so
+        # fault-free runs stay byte-identical to the historical goldens
+        # (summing per-window capacity areas is not float-associative
+        # with multiplying total capacity by the span).
         cpu = self._cpu_area / (self.cluster.total_vcpu_capacity * span)
         mem = self._mem_area / (self.cluster.total_memory_capacity_mb * span)
         return cpu, mem, mean_concurrency
@@ -494,23 +523,33 @@ class _Autoscaler:
         self.options = options
         self.decisions: List[Tuple[float, int]] = []
         self._arrivals: Deque[float] = deque()
-        self._service_sum = 0.0
-        self._service_count = 0
+        self._services: Deque[Tuple[float, float]] = deque()
 
     def observe_arrival(self, now: float) -> None:
         self._arrivals.append(now)
 
-    def observe_service(self, seconds: float) -> None:
-        self._service_sum += seconds
-        self._service_count += 1
+    def observe_service(self, now: float, seconds: float) -> None:
+        self._services.append((now, seconds))
 
     def tick(self, now: float) -> None:
-        while self._arrivals and self._arrivals[0] < now - self.options.window_seconds:
+        cutoff = now - self.options.window_seconds
+        while self._arrivals and self._arrivals[0] < cutoff:
             self._arrivals.popleft()
-        if self._service_count == 0:
+        # Service observations share the arrivals' sliding window, so the
+        # Little's-law target tracks *recent* service times rather than the
+        # lifetime mean (which lags badly after a drift phase).
+        while self._services and self._services[0][0] < cutoff:
+            self._services.popleft()
+        if not self._services:
             return
-        rate = len(self._arrivals) / self.options.window_seconds
-        mean_service = self._service_sum / self._service_count
+        # Warm-up correction (mirrors SlidingWindowMonitor): before a full
+        # window has elapsed, divide by the time actually observed instead of
+        # the nominal window, or early ticks underestimate the arrival rate.
+        effective_window = (
+            min(self.options.window_seconds, now) if now > 0 else self.options.window_seconds
+        )
+        rate = len(self._arrivals) / effective_window
+        mean_service = sum(seconds for _, seconds in self._services) / len(self._services)
         target = math.ceil(rate * mean_service * self.options.headroom)
         target = max(self.options.min_containers, min(self.options.max_containers, target))
         if target != self.pool.max_containers_per_function:
@@ -1377,7 +1416,7 @@ class ServingSimulator:
             if guard is not None:
                 guard.observe_completion(outcome.service_seconds)
             if autoscaler is not None:
-                autoscaler.observe_service(outcome.service_seconds)
+                autoscaler.observe_service(loop.now, outcome.service_seconds)
             if controller is not None:
                 # May fire drift detection, an inline re-tune and a rollout
                 # step — all in simulated-zero time within this event.

@@ -1,0 +1,281 @@
+"""Fleet scenario suite: multi-tenant serving on heterogeneous clusters.
+
+Four scenarios exercise the fleet layer end to end, each run under two
+placement policies so the suite reads as a controlled comparison:
+
+``noisy-neighbor``
+    A high-priority interactive tenant shares the cluster with a
+    low-priority batch tenant whose offered load alone exceeds the fleet's
+    capacity.  ``priority`` placement (priority scheduling + reserved
+    headroom) must keep the interactive tenant's SLO attainment strictly
+    above what ``fair-share`` FIFO gives it.
+``priority-inversion``
+    The batch tenant's huge, long-resident requests arrive *first* and grab
+    the cluster; under FIFO the interactive tenant inverts behind them.
+``spot-eviction-storm``
+    Half the capacity is spot; a storm of seed-deterministic evictions
+    aborts and re-queues in-flight work, measuring restart/waste overhead
+    under spread (``fair-share``) vs packed (``bin-packing``) placement.
+``fleet-flash-crowd``
+    One tenant's drifting traffic ramps 8× mid-run while the other stays
+    steady — the shared-queue contention scenario.
+
+Every run is fully determined by ``--seed``; the suite defaults to the
+repo-wide comparison seed 717.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.execution.cluster import Cluster
+from repro.execution.fleet import FleetOptions, FleetResult, FleetSimulator, Tenant
+from repro.execution.instances import build_cluster
+from repro.workloads.arrivals import DriftingTrafficModel, TrafficPhase, TrafficProfile
+from repro.workloads.registry import get_workload
+
+__all__ = [
+    "FLEET_SCENARIO_NAMES",
+    "FleetScenarioSpec",
+    "FleetScenarioResult",
+    "FleetSuiteReport",
+    "build_fleet_scenario",
+    "run_fleet_scenario",
+    "run_fleet_suite",
+]
+
+
+@dataclass(frozen=True)
+class FleetScenarioSpec:
+    """One named fleet scenario: tenants + cluster + options per policy."""
+
+    name: str
+    description: str
+    duration_seconds: float
+    policies: Tuple[str, ...]
+    build: Callable[[], Tuple[List[Tenant], Callable[[], Cluster], Dict[str, object]]]
+
+
+@dataclass
+class FleetScenarioResult:
+    """One scenario's runs, keyed by placement policy."""
+
+    name: str
+    description: str
+    duration_seconds: float
+    runs: Dict[str, FleetResult] = field(default_factory=dict)
+
+
+@dataclass
+class FleetSuiteReport:
+    """The full fleet suite at one seed."""
+
+    seed: int
+    scenarios: List[FleetScenarioResult] = field(default_factory=list)
+
+    def scenario(self, name: str) -> FleetScenarioResult:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"no scenario named {name!r}")
+
+
+# -- scenario builders --------------------------------------------------------------
+
+
+def _noisy_neighbor() -> Tuple[List[Tenant], Callable[[], Cluster], Dict[str, object]]:
+    interactive = Tenant(
+        name="interactive",
+        workload=get_workload("chatbot"),
+        priority=2,
+        arrival="poisson",
+        rate_rps=0.012,
+    )
+    noisy = Tenant(
+        name="noisy-batch",
+        workload=get_workload("ml-pipeline"),
+        priority=0,
+        arrival="poisson",
+        rate_rps=0.04,
+    )
+
+    def cluster() -> Cluster:
+        return build_cluster([("m5.4xlarge", 3), ("c5.4xlarge", 2), ("m6g.4xlarge", 1)])
+
+    return [interactive, noisy], cluster, {}
+
+
+def _priority_inversion() -> Tuple[List[Tenant], Callable[[], Cluster], Dict[str, object]]:
+    # The batch tenant's burst arrives from t=0 and each request resides for
+    # minutes, so FIFO admission inverts the interactive tenant behind it.
+    batch = Tenant(
+        name="batch-video",
+        workload=get_workload("video-analysis"),
+        priority=0,
+        arrival="constant",
+        rate_rps=0.02,
+    )
+    interactive = Tenant(
+        name="interactive",
+        workload=get_workload("chatbot"),
+        priority=3,
+        arrival="poisson",
+        rate_rps=0.01,
+    )
+
+    def cluster() -> Cluster:
+        # Each video request spreads 8 nine-vCPU containers across 8 nodes,
+        # so one admitted request owns most of the fleet for minutes.
+        return build_cluster([("m5.4xlarge", 5), ("c5.4xlarge", 3)])
+
+    # Memory-tight c5 nodes surface cross-tenant interference: video
+    # containers push node memory past the threshold and co-located
+    # chatbot functions run stretched.
+    return [batch, interactive], cluster, {
+        "interference_threshold": 0.12,
+        "interference_alpha": 2.0,
+    }
+
+
+def _spot_eviction_storm() -> Tuple[List[Tenant], Callable[[], Cluster], Dict[str, object]]:
+    steady = Tenant(
+        name="steady",
+        workload=get_workload("chatbot"),
+        priority=1,
+        arrival="poisson",
+        rate_rps=0.01,
+    )
+    pipeline = Tenant(
+        name="pipeline",
+        workload=get_workload("ml-pipeline"),
+        priority=0,
+        arrival="poisson",
+        rate_rps=0.01,
+    )
+
+    def cluster() -> Cluster:
+        return build_cluster(
+            [("m5.4xlarge", 2), ("c5.4xlarge", 1)],
+            spot_spec=[("c5a.4xlarge", 2), ("m6g.4xlarge", 1)],
+        )
+
+    return (
+        [steady, pipeline],
+        cluster,
+        {"spot_evictions_per_hour": 40.0, "spot_recovery_seconds": 60.0},
+    )
+
+
+def _fleet_flash_crowd() -> Tuple[List[Tenant], Callable[[], Cluster], Dict[str, object]]:
+    crowd_traffic = DriftingTrafficModel(
+        phases=[
+            TrafficPhase("calm", 0.0, TrafficProfile(arrival="poisson", rate_rps=0.008)),
+            TrafficPhase("crowd", 240.0, TrafficProfile(arrival="poisson", rate_rps=0.06)),
+            TrafficPhase("cooldown", 420.0, TrafficProfile(arrival="poisson", rate_rps=0.008)),
+        ]
+    )
+    crowd = Tenant(
+        name="frontend",
+        workload=get_workload("chatbot"),
+        priority=1,
+        traffic=crowd_traffic,
+    )
+    steady = Tenant(
+        name="analytics",
+        workload=get_workload("ml-pipeline"),
+        priority=0,
+        arrival="poisson",
+        rate_rps=0.02,
+    )
+
+    def cluster() -> Cluster:
+        return build_cluster([("m5.4xlarge", 3), ("c5a.4xlarge", 2), ("c6g.4xlarge", 1)])
+
+    # A low threshold makes shared-node memory pressure visible during the
+    # crowd, separating spread (fair-share) from packed (bin-packing) runs.
+    return [crowd, steady], cluster, {
+        "interference_threshold": 0.10,
+        "interference_alpha": 1.5,
+    }
+
+
+_SCENARIOS: Dict[str, FleetScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        FleetScenarioSpec(
+            name="noisy-neighbor",
+            description="high-priority interactive tenant vs over-subscribed batch tenant",
+            duration_seconds=600.0,
+            policies=("fair-share", "priority"),
+            build=_noisy_neighbor,
+        ),
+        FleetScenarioSpec(
+            name="priority-inversion",
+            description="long-resident batch burst admitted first, interactive behind it",
+            duration_seconds=600.0,
+            policies=("fair-share", "priority"),
+            build=_priority_inversion,
+        ),
+        FleetScenarioSpec(
+            name="spot-eviction-storm",
+            description="spot half of the fleet evicted at storm rate, work re-queued",
+            duration_seconds=600.0,
+            policies=("fair-share", "bin-packing"),
+            build=_spot_eviction_storm,
+        ),
+        FleetScenarioSpec(
+            name="fleet-flash-crowd",
+            description="one tenant's arrivals ramp 8x mid-run on the shared queue",
+            duration_seconds=600.0,
+            policies=("fair-share", "bin-packing"),
+            build=_fleet_flash_crowd,
+        ),
+    )
+}
+
+FLEET_SCENARIO_NAMES: Tuple[str, ...] = tuple(_SCENARIOS)
+
+
+def build_fleet_scenario(name: str) -> FleetScenarioSpec:
+    """Look up one scenario spec by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fleet scenario {name!r}; "
+            f"available: {', '.join(FLEET_SCENARIO_NAMES)}"
+        ) from None
+
+
+def run_fleet_scenario(
+    name: str,
+    seed: int = 717,
+    duration_seconds: float | None = None,
+    policies: Sequence[str] | None = None,
+) -> FleetScenarioResult:
+    """Run one scenario under each of its policies (fresh cluster per run)."""
+    spec = build_fleet_scenario(name)
+    duration = duration_seconds if duration_seconds is not None else spec.duration_seconds
+    chosen = tuple(policies) if policies is not None else spec.policies
+    result = FleetScenarioResult(
+        name=spec.name, description=spec.description, duration_seconds=duration
+    )
+    for policy in chosen:
+        tenants, cluster_factory, extra = spec.build()
+        options = FleetOptions(placement=policy, **extra)
+        simulator = FleetSimulator(tenants, cluster_factory(), options=options)
+        result.runs[policy] = simulator.run(duration, seed=seed)
+    return result
+
+
+def run_fleet_suite(
+    seed: int = 717, duration_seconds: float | None = None
+) -> FleetSuiteReport:
+    """Run all four fleet scenarios deterministically at one seed."""
+    report = FleetSuiteReport(seed=seed)
+    for name in FLEET_SCENARIO_NAMES:
+        report.scenarios.append(
+            run_fleet_scenario(name, seed=seed, duration_seconds=duration_seconds)
+        )
+    return report

@@ -11,7 +11,9 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.objective import SearchResult
+from repro.execution.fleet import FleetResult
 from repro.experiments.adaptive_experiment import DriftSuiteReport
+from repro.experiments.fleet_experiment import FleetSuiteReport
 from repro.experiments.input_aware_experiment import InputAwareComparison
 from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
 from repro.experiments.optimal_experiment import OptimalConfigurationStats
@@ -30,6 +32,8 @@ __all__ = [
     "render_serving_report",
     "render_scenario_matrix",
     "render_drift_suite",
+    "render_fleet_result",
+    "render_fleet_suite",
 ]
 
 
@@ -451,3 +455,62 @@ def render_input_aware(comparison: InputAwareComparison, classes: Optional[Seque
         table.add_row(method, *[by_class.get(c, float("nan")) for c in class_names])
     lines.append(table.render())
     return "\n".join(lines)
+
+
+def render_fleet_result(result: "FleetResult", title: str = "") -> str:
+    """Render one fleet run: a per-tenant table plus fleet-wide gauges."""
+    table = Table(
+        [
+            "tenant", "prio", "offered", "completed", "rejected",
+            "slo_att", "p50_s", "p99_s", "queue_mean_s", "restarts", "cost",
+        ],
+        precision=2,
+        title=title or f"fleet run — {result.policy} placement",
+    )
+    for tenant in result.tenants.values():
+        metrics = tenant.metrics
+        attainment = (
+            f"{metrics.slo_attainment * 100:.1f}%"
+            if metrics.slo_attainment is not None
+            else "n/a"
+        )
+        table.add_row(
+            tenant.tenant,
+            tenant.priority,
+            metrics.offered,
+            metrics.completed,
+            metrics.rejected,
+            attainment,
+            metrics.latency_p50_seconds,
+            metrics.latency_p99_seconds,
+            metrics.queueing_mean_seconds,
+            sum(outcome.restarts for outcome in tenant.outcomes),
+            metrics.total_cost,
+        )
+    lines = [table.render()]
+    cpu = result.cpu_utilization
+    mem = result.memory_utilization
+    lines.append(
+        "  fleet: "
+        f"cost {result.total_cost:.2f}, "
+        f"cpu {cpu * 100:.1f}% / mem {mem * 100:.1f}% of healthy capacity, "
+        f"peak concurrency {result.peak_concurrency}, "
+        f"node failures {result.node_failures}, spot evictions {result.spot_evictions}"
+    )
+    if result.interference_stretched:
+        lines.append(
+            f"  interference: {result.interference_stretched} dispatches stretched, "
+            f"mean stretch {result.mean_stretch:.3f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_fleet_suite(report: "FleetSuiteReport") -> str:
+    """Render the fleet scenario suite: one policy-comparison block per scenario."""
+    lines = [f"fleet scenario suite (seed {report.seed})", ""]
+    for scenario in report.scenarios:
+        lines.append(f"== {scenario.name}: {scenario.description}")
+        for policy, run in scenario.runs.items():
+            lines.append(render_fleet_result(run, title=f"  policy: {policy}"))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -360,3 +360,69 @@ class TestMixtureObjective:
         lenient_result = lenient.evaluate(diamond_base_configuration)
         if not strict_result.slo_met:
             assert lenient_result.slo_met
+
+
+class TestNamedControllers:
+    """Fleet serving namespaces each tenant's cache context by controller name."""
+
+    class _SpyBackend:
+        def __init__(self, inner):
+            self._inner = inner
+            self.contexts = []
+
+        def evaluate(self, *args, **kwargs):
+            return self._inner.evaluate(*args, **kwargs)
+
+        def set_context(self, context):
+            self.contexts.append(context)
+
+    def _named_controller(
+        self,
+        name,
+        backend,
+        diamond_workflow,
+        diamond_slo,
+        diamond_base_configuration,
+    ):
+        return ReconfigurationController(
+            workflow=diamond_workflow,
+            slo=diamond_slo,
+            initial_configuration=diamond_base_configuration,
+            detector=NullDriftDetector(),
+            rollout=ImmediateRollout(),
+            backend=backend,
+            seed=7,
+            base_config=ResourceConfig(vcpu=4.0, memory_mb=2048.0),
+            name=name,
+        )
+
+    def test_name_prefixes_the_cache_context(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, diamond_executor
+    ):
+        def context_for(name):
+            backend = self._SpyBackend(CachingBackend(SimulatorBackend(diamond_executor)))
+            controller = self._named_controller(
+                name, backend, diamond_workflow, diamond_slo, diamond_base_configuration
+            )
+            feed(controller, index=0, now=1.0)
+            controller._build_objective(controller.monitor.snapshot(10.0))
+            assert len(backend.contexts) == 1
+            return backend.contexts[0]
+
+        # Same observed traffic, different tenants: the contexts must differ,
+        # or tenants sharing a memoizing backend replay each other's entries.
+        a, b = context_for("tenant-a"), context_for("tenant-b")
+        assert a != b
+        assert str(a).startswith("tenant-a|")
+
+    def test_unnamed_controller_keeps_the_bare_signature(
+        self, diamond_workflow, diamond_slo, diamond_base_configuration, diamond_executor
+    ):
+        backend = self._SpyBackend(CachingBackend(SimulatorBackend(diamond_executor)))
+        controller = self._named_controller(
+            "", backend, diamond_workflow, diamond_slo, diamond_base_configuration
+        )
+        feed(controller, index=0, now=1.0)
+        snapshot = controller.monitor.snapshot(10.0)
+        controller._build_objective(snapshot)
+        assert backend.contexts == [snapshot.signature()]

@@ -123,3 +123,64 @@ class TestAffinityAwarePlacement:
         summary = cluster.utilization_summary()
         assert set(summary.keys()) == {"node-0", "node-1"}
         assert summary["node-0"] == (0.0, 0.0)
+
+
+class TestHealthyCapacityNormalisation:
+    """Regression: dominant-share ordering must ignore failed nodes."""
+
+    def test_failed_node_is_equivalent_to_absent_node(self):
+        # A failed cpu-rich node must not be counted in the share
+        # denominators: placement on {h1, h2, failed-f} has to match
+        # placement on a cluster that never had f at all.
+        def nodes():
+            return [
+                Node("h1", vcpu_capacity=8, memory_capacity_mb=65536),
+                Node("h2", vcpu_capacity=8, memory_capacity_mb=65536),
+            ]
+
+        configuration = WorkflowConfiguration(
+            {
+                "cpu_fn": ResourceConfig(4, 1024),
+                "mem_fn": ResourceConfig(1, 16384),
+            }
+        )
+        with_failed = Cluster(
+            nodes() + [Node("f", vcpu_capacity=48, memory_capacity_mb=8192)]
+        )
+        with_failed.fail_node("f")
+        without = Cluster(nodes())
+        assert affinity_aware_placement(with_failed, configuration) == (
+            affinity_aware_placement(without, configuration)
+        )
+
+    def test_healthy_ordering_places_cpu_heavy_first(self):
+        # With the cpu-rich node down, cpu_fn's dominant share (4/16) beats
+        # mem_fn's (16384/131072); placing it first spreads the two
+        # containers.  The pre-fix full-capacity shares (4/64 vs
+        # 16384/139264) inverted the order and stacked both on h1.
+        cluster = Cluster(
+            [
+                Node("h1", vcpu_capacity=8, memory_capacity_mb=65536),
+                Node("h2", vcpu_capacity=8, memory_capacity_mb=65536),
+                Node("f", vcpu_capacity=48, memory_capacity_mb=8192),
+            ]
+        )
+        cluster.fail_node("f")
+        assignment = affinity_aware_placement(
+            cluster,
+            WorkflowConfiguration(
+                {
+                    "cpu_fn": ResourceConfig(4, 1024),
+                    "mem_fn": ResourceConfig(1, 16384),
+                }
+            ),
+        )
+        assert assignment["cpu_fn"] != assignment["mem_fn"]
+
+    def test_all_nodes_failed_falls_back_to_total_capacity(self):
+        cluster = Cluster([Node("n", vcpu_capacity=4, memory_capacity_mb=4096)])
+        cluster.fail_node("n")
+        with pytest.raises(PlacementError):
+            affinity_aware_placement(
+                cluster, WorkflowConfiguration({"f": ResourceConfig(1, 512)})
+            )

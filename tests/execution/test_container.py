@@ -217,3 +217,39 @@ class TestRetarget:
         assert pool.retarget({"f": CONFIG}) == 0
         _, cold = pool.acquire("f", CONFIG, 2.0)
         assert not cold
+
+
+class TestEvictNode:
+    def test_evicts_only_idle_containers_on_that_node(self):
+        pool = ContainerPool()
+        on_node, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        on_node.node_name = "node-a"
+        elsewhere, _ = pool.acquire("g", CONFIG, timestamp=0.0)
+        elsewhere.node_name = "node-b"
+        unplaced, _ = pool.acquire("h", CONFIG, timestamp=0.0)
+        for container in (on_node, elsewhere, unplaced):
+            pool.release(container, finish_time=1.0)
+
+        assert pool.evict_node("node-a") == 1
+        assert pool.evictions == 1
+        # The evicted function cold-starts again; the others stay warm.
+        _, cold = pool.acquire("f", CONFIG, timestamp=2.0)
+        assert cold
+        _, cold = pool.acquire("g", CONFIG, timestamp=2.0)
+        assert not cold
+        _, cold = pool.acquire("h", CONFIG, timestamp=2.0)
+        assert not cold
+
+    def test_checked_out_containers_are_untouched(self):
+        pool = ContainerPool()
+        container, _ = pool.acquire("f", CONFIG, timestamp=0.0)
+        container.node_name = "node-a"
+        # Still checked out: evict_node must not reach into in-flight work.
+        assert pool.evict_node("node-a") == 0
+        pool.release(container, finish_time=1.0)
+        assert pool.evict_node("node-a") == 1
+
+    def test_empty_node_is_a_noop(self):
+        pool = ContainerPool()
+        assert pool.evict_node("ghost") == 0
+        assert pool.evictions == 0

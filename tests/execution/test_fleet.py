@@ -1,0 +1,297 @@
+"""Tests for multi-tenant fleet serving on heterogeneous clusters."""
+
+import pytest
+
+from repro.execution.fleet import (
+    FleetOptions,
+    FleetSimulator,
+    Tenant,
+    _FleetLedger,
+)
+from repro.execution.instances import build_cluster
+from repro.experiments.fleet_experiment import (
+    FLEET_SCENARIO_NAMES,
+    build_fleet_scenario,
+    run_fleet_scenario,
+)
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workloads.registry import get_workload
+
+
+def small_fleet():
+    return [
+        Tenant(
+            name="interactive",
+            workload=get_workload("chatbot"),
+            priority=2,
+            arrival="poisson",
+            rate_rps=0.012,
+        ),
+        Tenant(
+            name="batch",
+            workload=get_workload("ml-pipeline"),
+            priority=0,
+            arrival="poisson",
+            rate_rps=0.02,
+        ),
+    ]
+
+
+def small_cluster():
+    return build_cluster([("m5.4xlarge", 3), ("c5.4xlarge", 2)])
+
+
+class TestTenant:
+    def test_defaults_come_from_workload(self):
+        workload = get_workload("chatbot")
+        tenant = Tenant(name="t", workload=workload)
+        assert tenant.effective_slo() is workload.slo
+        assert tenant.effective_configuration() == workload.base_configuration()
+
+    def test_overrides_win(self):
+        workload = get_workload("chatbot")
+        configuration = workload.base_configuration()
+        tenant = Tenant(name="t", workload=workload, configuration=configuration)
+        assert tenant.effective_configuration() is configuration
+
+
+class TestFleetOptions:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="placement policy"):
+            FleetOptions(placement="round-robin")
+
+    def test_rejects_bad_reserve_fraction(self):
+        with pytest.raises(ValueError):
+            FleetOptions(priority_reserve_fraction=1.0)
+
+
+class TestFleetSimulator:
+    def test_requires_tenants_with_unique_names(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            FleetSimulator([], small_cluster())
+        tenants = small_fleet()
+        tenants[1].name = tenants[0].name
+        with pytest.raises(ValueError, match="unique"):
+            FleetSimulator(tenants, small_cluster())
+
+    def test_seed_determinism(self):
+        def run():
+            simulator = FleetSimulator(small_fleet(), small_cluster())
+            return simulator.run(300.0, seed=717)
+
+        a, b = run(), run()
+        assert a.total_cost == b.total_cost
+        assert a.cpu_utilization == b.cpu_utilization
+        for name in a.tenants:
+            ma, mb = a.tenant(name).metrics, b.tenant(name).metrics
+            assert (ma.offered, ma.completed, ma.rejected) == (
+                mb.offered,
+                mb.completed,
+                mb.rejected,
+            )
+            assert ma.latency_p99_seconds == mb.latency_p99_seconds
+            assert ma.total_cost == mb.total_cost
+
+    def test_per_tenant_conservation_and_billing_sum(self):
+        simulator = FleetSimulator(small_fleet(), small_cluster())
+        result = simulator.run(300.0, seed=717)
+        assert result.offered > 0
+        for tenant_result in result.tenants.values():
+            metrics = tenant_result.metrics
+            assert metrics.offered == metrics.completed + metrics.rejected
+            assert metrics.rejected == sum(tenant_result.rejected_by_cause.values())
+        assert result.total_cost == sum(
+            t.metrics.total_cost for t in result.tenants.values()
+        )
+
+    def test_spot_evictions_restart_work(self):
+        tenants = [
+            Tenant(
+                name="steady",
+                workload=get_workload("chatbot"),
+                arrival="poisson",
+                rate_rps=0.02,
+            )
+        ]
+        cluster = build_cluster(
+            [("m5.4xlarge", 1)], spot_spec=[("m5.4xlarge", 2)]
+        )
+        options = FleetOptions(
+            spot_evictions_per_hour=60.0, spot_recovery_seconds=30.0
+        )
+        result = FleetSimulator(tenants, cluster, options=options).run(600.0, seed=717)
+        assert result.spot_evictions > 0
+        metrics = result.tenant("steady").metrics
+        assert metrics.offered == metrics.completed + metrics.rejected
+
+
+class TestFleetLedger:
+    def _config(self):
+        return WorkflowConfiguration({"f": ResourceConfig(4, 4096)})
+
+    def test_priority_policy_reserves_headroom(self):
+        # One 16-vCPU node, 25% reserved: low-priority work may fill 12 vCPU
+        # (three 4-vCPU containers) but not the reserved quarter.
+        cluster = build_cluster([("m5.4xlarge", 1)])
+        ledger = _FleetLedger(
+            cluster, policy="priority", reserve_fraction=0.25, max_priority=2
+        )
+        for request_id in range(3):
+            assert ledger.try_reserve(request_id, self._config(), 0.0, priority=0)
+        assert ledger.try_reserve(3, self._config(), 0.0, priority=0) is None
+        # The top-priority tenant can still use the reserved headroom.
+        assert ledger.try_reserve(4, self._config(), 0.0, priority=2)
+
+    def test_fair_share_spreads_while_bin_packing_stacks(self):
+        # A cpu-heavy then a mem-heavy container: packing them on one node
+        # balances it (bin-packing's imbalance-first key), while fair-share's
+        # load-first key sends the second container to the empty node.
+        cpu_heavy = WorkflowConfiguration({"f": ResourceConfig(8, 2048)})
+        mem_heavy = WorkflowConfiguration({"f": ResourceConfig(1, 32768)})
+
+        def place(policy):
+            cluster = build_cluster([("m5.4xlarge", 2)])
+            ledger = _FleetLedger(
+                cluster, policy=policy, reserve_fraction=0.25, max_priority=0
+            )
+            nodes = []
+            for request_id, config in enumerate([cpu_heavy, mem_heavy]):
+                assignment = ledger.try_reserve(request_id, config, 0.0)
+                assert assignment is not None
+                nodes.append(assignment["f"].name)
+            return nodes
+
+        assert len(set(place("fair-share"))) == 2
+        assert len(set(place("bin-packing"))) == 1
+
+    def test_failed_node_aborts_and_restores(self):
+        cluster = build_cluster([("m5.4xlarge", 2)])
+        ledger = _FleetLedger(
+            cluster, policy="fair-share", reserve_fraction=0.25, max_priority=0
+        )
+        assignment = ledger.try_reserve(0, self._config(), 0.0)
+        victim = assignment["f"].name
+        assert ledger.fail_node(victim, 10.0) == [0]
+        assert ledger.active == 0
+        assert ledger.has_down_nodes
+        ledger.restore_node(victim, 20.0)
+        assert not ledger.has_down_nodes
+
+
+class TestFleetScenarios:
+    def test_scenario_registry(self):
+        assert set(FLEET_SCENARIO_NAMES) == {
+            "noisy-neighbor",
+            "priority-inversion",
+            "spot-eviction-storm",
+            "fleet-flash-crowd",
+        }
+        with pytest.raises(KeyError, match="unknown fleet scenario"):
+            build_fleet_scenario("nope")
+
+    def test_noisy_neighbor_priority_beats_fair_share(self):
+        # The acceptance criterion: under priority-aware placement the
+        # high-priority interactive tenant's SLO attainment strictly exceeds
+        # what fair-share FIFO gives it at the comparison seed.
+        result = run_fleet_scenario("noisy-neighbor", seed=717)
+        fair = result.runs["fair-share"].tenant("interactive").metrics
+        prio = result.runs["priority"].tenant("interactive").metrics
+        assert fair.completed > 0 and prio.completed > 0
+        assert prio.slo_attainment > fair.slo_attainment
+
+    def test_spot_eviction_storm_counts_evictions(self):
+        result = run_fleet_scenario(
+            "spot-eviction-storm", seed=717, policies=["fair-share"]
+        )
+        run = result.runs["fair-share"]
+        assert run.spot_evictions > 0
+        assert run.node_failures == 0
+
+
+class TestFleetIntegrations:
+    def test_per_tenant_controller_observes_its_tenant_only(self):
+        from repro.control.controller import ReconfigurationController
+        from repro.control.drift import NullDriftDetector
+        from repro.control.rollout import ImmediateRollout
+        from repro.execution.backend import SimulatorBackend
+
+        tenants = small_fleet()
+        workload = tenants[0].workload
+        controller = ReconfigurationController(
+            workflow=workload.workflow,
+            slo=workload.slo,
+            initial_configuration=workload.base_configuration(),
+            detector=NullDriftDetector(),
+            rollout=ImmediateRollout(),
+            backend=SimulatorBackend(workload.build_executor()),
+            seed=7,
+            name="interactive",
+        )
+        simulator = FleetSimulator(
+            tenants,
+            small_cluster(),
+            controllers={"interactive": controller},
+        )
+        result = simulator.run(300.0, seed=717)
+        interactive = result.tenant("interactive")
+        assert interactive.control is not None
+        # The controller saw exactly its tenant's completions, nobody else's.
+        completions = sum(interactive.control.version_completions.values())
+        assert completions == interactive.metrics.completed
+        assert interactive.metrics.completed > 0
+        assert result.tenant("batch").control is None
+
+    def test_protection_guard_sheds_by_tenant_priority(self):
+        from repro.execution.protection import ProtectionPolicy
+
+        tenants = [
+            Tenant(
+                name="gold",
+                workload=get_workload("chatbot"),
+                priority=2,
+                arrival="poisson",
+                rate_rps=0.05,
+            ),
+            Tenant(
+                name="bronze",
+                workload=get_workload("chatbot"),
+                priority=0,
+                arrival="poisson",
+                rate_rps=0.05,
+            ),
+        ]
+        # Two nodes hold exactly one in-flight chatbot request (28 of 32
+        # vCPU), so the shared queue backs up immediately at these rates.
+        cluster = build_cluster([("m5.4xlarge", 2)])
+        protection = ProtectionPolicy.for_tenants(
+            {"gold": 2, "bronze": 0}, queue_high=2, queue_low=1
+        )
+        result = FleetSimulator(tenants, cluster, protection=protection).run(
+            600.0, seed=717
+        )
+        shed = {
+            name: tenant.rejected_by_cause.get("shed", 0)
+            for name, tenant in result.tenants.items()
+        }
+        assert shed["bronze"] > 0
+        assert shed["bronze"] >= shed["gold"]
+        assert result.protection_events
+
+    def test_node_failures_count_and_conserve(self):
+        tenants = [
+            Tenant(
+                name="only",
+                workload=get_workload("chatbot"),
+                arrival="poisson",
+                rate_rps=0.02,
+            )
+        ]
+        options = FleetOptions(
+            node_failures_per_hour=30.0, node_recovery_seconds=45.0
+        )
+        result = FleetSimulator(tenants, small_cluster(), options=options).run(
+            600.0, seed=717
+        )
+        assert result.node_failures > 0
+        metrics = result.tenant("only").metrics
+        assert metrics.offered == metrics.completed + metrics.rejected

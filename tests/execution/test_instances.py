@@ -1,0 +1,107 @@
+"""Tests for the heterogeneous instance-type catalog."""
+
+import pytest
+
+from repro.execution.instances import (
+    INSTANCE_FAMILIES,
+    SPOT_DISCOUNT,
+    build_cluster,
+    get_instance_type,
+    instance_catalog,
+    make_node,
+    spot_eviction_schedule,
+)
+
+
+class TestCatalog:
+    def test_full_family_size_grid(self):
+        catalog = instance_catalog()
+        assert len(catalog) == len(INSTANCE_FAMILIES) * 4
+        for name, instance in catalog.items():
+            assert instance.name == name
+            assert instance.vcpu in (2, 4, 8, 16)
+            assert instance.memory_mb > 0
+            assert 0 < instance.price_multiplier <= 1.0
+
+    def test_compute_families_have_half_the_memory(self):
+        assert get_instance_type("m5.4xlarge").memory_mb == 16 * 4096
+        assert get_instance_type("c5.4xlarge").memory_mb == 16 * 2048
+
+    def test_m5_is_the_pricing_baseline(self):
+        assert get_instance_type("m5.xlarge").price_multiplier == 1.0
+        assert get_instance_type("c6g.xlarge").price_multiplier < 1.0
+
+    def test_unknown_type_raises_with_choices(self):
+        with pytest.raises(KeyError, match="unknown instance type"):
+            get_instance_type("z9.mega")
+
+    def test_describe_mentions_shape(self):
+        text = get_instance_type("m6g.2xlarge").describe()
+        assert "8 vCPU" in text and "32 GiB" in text
+
+
+class TestMakeNode:
+    def test_on_demand_node_shape(self):
+        node = make_node("c5.2xlarge", "worker-0")
+        assert node.vcpu_capacity == 8
+        assert node.memory_capacity_mb == 8 * 2048
+        assert node.instance_type == "c5.2xlarge"
+        assert node.price_multiplier == pytest.approx(0.89)
+        assert not node.spot
+
+    def test_spot_node_takes_the_discount(self):
+        on_demand = make_node("m5a.xlarge", "a")
+        spot = make_node("m5a.xlarge", "b", spot=True)
+        assert spot.spot
+        assert spot.price_multiplier == pytest.approx(
+            on_demand.price_multiplier * SPOT_DISCOUNT
+        )
+
+
+class TestBuildCluster:
+    def test_names_follow_spec_order(self):
+        cluster = build_cluster(
+            [("m5.xlarge", 2), ("c5.large", 1)], spot_spec=[("c6g.xlarge", 1)]
+        )
+        assert [n.name for n in cluster.nodes] == [
+            "m5.xlarge-0",
+            "m5.xlarge-1",
+            "c5.large-0",
+            "c6g.xlarge-spot-0",
+        ]
+        assert [n.spot for n in cluster.nodes] == [False, False, False, True]
+
+    def test_mixed_shapes_report_heterogeneous(self):
+        assert build_cluster([("m5.xlarge", 1), ("c5.xlarge", 1)]).is_heterogeneous
+        assert not build_cluster([("m5.xlarge", 3)]).is_heterogeneous
+
+
+class TestSpotEvictionSchedule:
+    def _cluster(self):
+        return build_cluster(
+            [("m5.xlarge", 2)], spot_spec=[("c5.xlarge", 2), ("m6g.large", 1)]
+        )
+
+    def test_targets_only_spot_nodes(self):
+        cluster = self._cluster()
+        schedule = spot_eviction_schedule(
+            cluster, duration_seconds=3600.0, evictions_per_hour=30.0, seed=7
+        )
+        assert schedule, "storm rate over an hour should evict at least once"
+        spot_names = {n.name for n in cluster.nodes if n.spot}
+        assert all(name in spot_names for _, name in schedule)
+        assert all(0 <= t <= 3600.0 for t, _ in schedule)
+
+    def test_seed_deterministic(self):
+        a = spot_eviction_schedule(self._cluster(), 3600.0, 30.0, seed=7)
+        b = spot_eviction_schedule(self._cluster(), 3600.0, 30.0, seed=7)
+        c = spot_eviction_schedule(self._cluster(), 3600.0, 30.0, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_no_spot_nodes_means_no_evictions(self):
+        cluster = build_cluster([("m5.xlarge", 2)])
+        assert spot_eviction_schedule(cluster, 3600.0, 30.0, seed=7) == []
+
+    def test_zero_rate_means_no_evictions(self):
+        assert spot_eviction_schedule(self._cluster(), 3600.0, 0.0, seed=7) == []

@@ -424,3 +424,26 @@ class TestGuardHedging:
     def test_max_hedges_property(self):
         assert make_guard(self.POLICY).max_hedges_per_request == 1
         assert make_guard(ProtectionPolicy()).max_hedges_per_request == 0
+
+
+class TestForTenants:
+    def test_builds_a_shedding_only_policy(self):
+        policy = ProtectionPolicy.for_tenants({"gold": 2, "bronze": 0})
+        assert policy.admission is None
+        assert policy.breaker is None
+        assert policy.hedging is None
+        assert policy.shedding is not None
+        assert policy.shedding.priorities == {"gold": 2, "bronze": 0}
+        assert not policy.is_empty
+
+    def test_sheds_low_priority_tenant_first(self):
+        policy = ProtectionPolicy.for_tenants(
+            {"gold": 2, "bronze": 0}, queue_high=4, queue_low=1
+        )
+        guard = make_guard(policy)
+        # Sustained deep queue: the shed level climbs past bronze's priority.
+        for step in range(12):
+            guard.admit(float(step), "gold", queue_len=10, active=0)
+        assert guard.shed_level > 0
+        assert guard.admit(12.0, "bronze", queue_len=10, active=0) == "shed"
+        assert guard.admit(12.0, "gold", queue_len=10, active=0) is None

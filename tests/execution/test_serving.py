@@ -357,3 +357,101 @@ class TestBackendPoolStats:
         assert stats.cold_starts == 4
         assert stats.warm_hits == 12
         assert "pool 4 cold starts" in stats.describe()
+
+
+class TestLedgerHealthyCapacityAccounting:
+    """Regression: utilization must divide by the capacity actually up."""
+
+    def _loaded_ledger(self):
+        from repro.execution.serving import _ClusterLedger
+
+        cluster = Cluster.homogeneous(2, vcpu_per_node=8, memory_per_node_mb=8192)
+        ledger = _ClusterLedger(cluster)
+        configuration = WorkflowConfiguration({"f": ResourceConfig(4, 2048)})
+        assert ledger.try_reserve(0, configuration, 0.0)
+        return ledger
+
+    def test_mid_run_node_failure_strictly_raises_utilization(self):
+        healthy = self._loaded_ledger()
+        healthy.advance(200.0)
+        baseline_cpu, baseline_mem, _ = healthy.utilization()
+
+        degraded = self._loaded_ledger()
+        # Fail the *idle* node halfway through: the same work ran on half
+        # the capacity for the second window, so reported utilization must
+        # go up, not stay diluted by the ghost node's capacity.
+        idle = next(
+            n.name for n in degraded.cluster.nodes if n.vcpu_used == 0
+        )
+        degraded.fail_node(idle, 100.0)
+        degraded.advance(200.0)
+        cpu, mem, _ = degraded.utilization()
+        assert cpu > baseline_cpu
+        assert mem > baseline_mem
+        # Closed form: 4 vcpu busy over 16*100 + 8*100 healthy vcpu-seconds.
+        assert cpu == pytest.approx((4 * 200.0) / (16 * 100.0 + 8 * 100.0))
+
+    def test_fault_free_run_keeps_the_historical_formula(self):
+        # Byte-identity guard: with no failure the denominator must be the
+        # exact closed-form capacity*span product, not a summed area.
+        ledger = self._loaded_ledger()
+        ledger.advance(200.0)
+        cpu, mem, _ = ledger.utilization()
+        cluster = ledger.cluster
+        assert cpu == (4 * 200.0) / (cluster.total_vcpu_capacity * 200.0)
+        assert mem == (2048 * 200.0) / (cluster.total_memory_capacity_mb * 200.0)
+
+    def test_recovery_resumes_full_denominator(self):
+        ledger = self._loaded_ledger()
+        idle = next(n.name for n in ledger.cluster.nodes if n.vcpu_used == 0)
+        ledger.fail_node(idle, 100.0)
+        ledger.restore_node(idle, 150.0)
+        ledger.advance(200.0)
+        cpu, _, _ = ledger.utilization()
+        assert cpu == pytest.approx((4 * 200.0) / (16 * 150.0 + 8 * 50.0))
+
+
+class TestAutoscalerWindowing:
+    """Regression: service observations share the arrivals' sliding window,
+    and early ticks divide by the time actually observed (warm-up)."""
+
+    def _autoscaler(self, **overrides):
+        from repro.execution.container import ContainerPool
+        from repro.execution.serving import _Autoscaler
+
+        options = AutoscalerOptions(
+            interval_seconds=10.0, window_seconds=60.0, headroom=1.25, **overrides
+        )
+        pool = ContainerPool(max_containers_per_function=1)
+        return _Autoscaler(pool, options), pool
+
+    def test_stale_service_times_fall_out_of_the_window(self):
+        autoscaler, pool = self._autoscaler(max_containers=256)
+        # A slow era long before the window, then a fast recent era.
+        for t in (100.0, 110.0, 120.0):
+            autoscaler.observe_service(t, 600.0)
+        for t in (950.0, 960.0, 970.0, 980.0, 990.0):
+            autoscaler.observe_arrival(t)
+            autoscaler.observe_service(t, 2.0)
+        autoscaler.tick(1000.0)
+        # Window rate 5/60 with 2s recent services: a small pool.  The old
+        # lifetime mean (226s) would have demanded dozens of containers.
+        assert pool.max_containers_per_function <= 2
+
+    def test_warm_up_divides_by_observed_time(self):
+        autoscaler, pool = self._autoscaler(max_containers=256)
+        for t in (1.0, 3.0, 5.0, 7.0, 9.0):
+            autoscaler.observe_arrival(t)
+        autoscaler.observe_service(9.0, 6.0)
+        autoscaler.tick(10.0)
+        # rate = 5 arrivals / 10 observed seconds (not /60 nominal window):
+        # target = ceil(0.5 * 6 * 1.25) = 4.  The pre-fix estimate was
+        # ceil(5/60 * 6 * 1.25) = 1 — no scale-up at all.
+        assert pool.max_containers_per_function == 4
+
+    def test_no_service_observation_leaves_pool_alone(self):
+        autoscaler, pool = self._autoscaler()
+        autoscaler.observe_arrival(5.0)
+        autoscaler.tick(10.0)
+        assert pool.max_containers_per_function == 1
+        assert autoscaler.decisions == []

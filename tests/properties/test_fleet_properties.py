@@ -1,0 +1,149 @@
+"""Hypothesis property tests for multi-tenant fleet serving.
+
+Three invariants the fleet layer promises:
+
+* per-tenant conservation — every offered request is eventually either
+  completed or rejected, for every tenant, policy and seed;
+* billing closure — the fleet-wide bill is exactly the sum of the
+  per-tenant bills (no request is double-billed or dropped from the
+  ledger);
+* capacity safety — policy-scored placement never overcommits a node,
+  whatever heterogeneous shapes the cluster mixes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.fleet import (
+    PLACEMENT_POLICIES,
+    FleetOptions,
+    FleetSimulator,
+    Tenant,
+    _FleetLedger,
+)
+from repro.execution.instances import build_cluster, instance_catalog
+from repro.workflow.resources import ResourceConfig, WorkflowConfiguration
+from repro.workloads.registry import get_workload
+
+
+def run_fleet(policy, seed, rate_interactive, rate_batch, spot_rate):
+    tenants = [
+        Tenant(
+            name="interactive",
+            workload=get_workload("chatbot"),
+            priority=1,
+            arrival="poisson",
+            rate_rps=rate_interactive,
+        ),
+        Tenant(
+            name="batch",
+            workload=get_workload("ml-pipeline"),
+            priority=0,
+            arrival="poisson",
+            rate_rps=rate_batch,
+        ),
+    ]
+    cluster = build_cluster(
+        [("m5.4xlarge", 2), ("c5.4xlarge", 1)],
+        spot_spec=[("m5a.4xlarge", 1)],
+    )
+    options = FleetOptions(
+        placement=policy,
+        spot_evictions_per_hour=spot_rate,
+        spot_recovery_seconds=45.0,
+    )
+    simulator = FleetSimulator(tenants, cluster, options=options)
+    return simulator.run(240.0, seed=seed)
+
+
+class TestFleetRunInvariants:
+    @given(
+        policy=st.sampled_from(PLACEMENT_POLICIES),
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate_interactive=st.floats(min_value=0.001, max_value=0.05),
+        rate_batch=st.floats(min_value=0.001, max_value=0.05),
+        spot_rate=st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_per_tenant_conservation(
+        self, policy, seed, rate_interactive, rate_batch, spot_rate
+    ):
+        result = run_fleet(policy, seed, rate_interactive, rate_batch, spot_rate)
+        for tenant_result in result.tenants.values():
+            metrics = tenant_result.metrics
+            assert metrics.offered == metrics.completed + metrics.rejected
+            assert metrics.rejected == sum(tenant_result.rejected_by_cause.values())
+        assert result.offered == result.completed + result.rejected_total
+
+    @given(
+        policy=st.sampled_from(PLACEMENT_POLICIES),
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate_interactive=st.floats(min_value=0.001, max_value=0.05),
+        rate_batch=st.floats(min_value=0.001, max_value=0.05),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_tenant_bills_sum_to_fleet_bill(
+        self, policy, seed, rate_interactive, rate_batch
+    ):
+        result = run_fleet(policy, seed, rate_interactive, rate_batch, 0.0)
+        assert result.total_cost == sum(
+            t.metrics.total_cost for t in result.tenants.values()
+        )
+        for tenant_result in result.tenants.values():
+            assert tenant_result.metrics.total_cost >= 0.0
+
+
+# Configs drawn small enough that *some* catalog node can host them, large
+# enough to overcommit small nodes if the ledger ever ignored capacity.
+configs = st.builds(
+    ResourceConfig,
+    vcpu=st.floats(min_value=0.25, max_value=8.0),
+    memory_mb=st.floats(min_value=128.0, max_value=16384.0),
+)
+instance_names = st.sampled_from(sorted(instance_catalog()))
+
+
+class TestLedgerCapacitySafety:
+    @given(
+        policy=st.sampled_from(PLACEMENT_POLICIES),
+        shapes=st.lists(instance_names, min_size=1, max_size=4),
+        requests=st.lists(
+            st.lists(configs, min_size=1, max_size=3), min_size=1, max_size=12
+        ),
+        reserve=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placement_never_exceeds_node_capacity(
+        self, policy, shapes, requests, reserve
+    ):
+        cluster = build_cluster([(name, 1) for name in dict.fromkeys(shapes)])
+        ledger = _FleetLedger(
+            cluster, policy=policy, reserve_fraction=reserve, max_priority=1
+        )
+        now = 0.0
+        live = []
+        for request_id, request in enumerate(requests):
+            configuration = WorkflowConfiguration(
+                {f"f{i}": config for i, config in enumerate(request)}
+            )
+            now += 1.0
+            assignment = ledger.try_reserve(
+                request_id, configuration, now, priority=request_id % 2
+            )
+            if assignment is not None:
+                live.append(request_id)
+            for node in cluster.nodes:
+                assert node.vcpu_used <= node.vcpu_capacity + 1e-9
+                assert node.memory_used_mb <= node.memory_capacity_mb + 1e-9
+            # Periodically release the oldest request; capacity must come back.
+            if len(live) >= 3:
+                now += 1.0
+                ledger.release(live.pop(0), now)
+        for request_id in live:
+            now += 1.0
+            ledger.release(request_id, now)
+        assert ledger.active == 0
+        # Releasing everything returns capacity (up to float round-off from
+        # summing and subtracting the drawn vcpu values).
+        assert all(abs(node.vcpu_used) < 1e-9 for node in cluster.nodes)
+        assert all(abs(node.memory_used_mb) < 1e-6 for node in cluster.nodes)

@@ -165,7 +165,9 @@ class TestFaultCommands:
         args = build_parser().parse_args(["scenarios"])
         assert args.workload == "chatbot"
         assert args.method == "base"
-        assert args.duration == 200.0
+        # None resolves to 200s for the fault suites; the fleet suite keeps
+        # each scenario's own horizon instead.
+        assert args.duration is None
         assert args.nodes == 4
         assert args.rate == 0.15
         assert args.scenarios_seed is None
@@ -280,3 +282,47 @@ class TestProtectionCommands:
         assert "breaker-storm" in output
         assert "hedge-vs-stragglers" in output
         assert "deadline-cascade" in output
+
+
+class TestFleetCommands:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.scenario == "noisy-neighbor"
+        assert args.policy is None
+        assert args.duration is None
+        # Falls back to the global --seed when not given after the verb.
+        assert args.fleet_seed is None
+
+    def test_fleet_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--scenario", "quiet-neighbor"])
+
+    def test_fleet_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "round-robin"])
+
+    def test_scenarios_fleet_suite_flag_parses(self):
+        args = build_parser().parse_args(["scenarios", "--suite", "fleet"])
+        assert args.suite == "fleet"
+
+    def test_fleet_prints_per_tenant_table(self, capsys):
+        assert main(
+            ["fleet", "--scenario", "noisy-neighbor", "--seed", "717",
+             "--duration", "200"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "fleet scenario 'noisy-neighbor'" in output
+        assert "interactive" in output and "noisy-batch" in output
+        assert "policy: fair-share" in output and "policy: priority" in output
+
+    @pytest.mark.slow
+    def test_scenarios_fleet_suite_runs(self, capsys):
+        assert main(
+            ["scenarios", "--suite", "fleet", "--seed", "717",
+             "--duration", "200"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "noisy-neighbor" in output
+        assert "priority-inversion" in output
+        assert "spot-eviction-storm" in output
+        assert "fleet-flash-crowd" in output

@@ -18,6 +18,7 @@ from repro.workloads.arrivals import (
     TrafficProfile,
     build_arrival_process,
     load_trace_times,
+    merge_request_streams,
 )
 from repro.workloads.inputs import VIDEO_INPUT_CLASSES
 from repro.workloads.registry import get_workload
@@ -277,3 +278,30 @@ class TestDriftingTrafficModel:
     def test_describe_names_every_phase(self):
         text = DriftingTrafficModel(self.phases()).describe()
         assert "morning" in text and "evening" in text and "drifting" in text
+
+
+class TestMergeRequestStreams:
+    def test_time_ordered_with_tenant_tags(self):
+        from repro.execution.events import RequestArrival
+
+        streams = {
+            "a": [RequestArrival(arrival_time=1.0), RequestArrival(arrival_time=5.0)],
+            "b": [RequestArrival(arrival_time=2.0), RequestArrival(arrival_time=4.0)],
+        }
+        merged = merge_request_streams(streams)
+        assert [t for t, _ in merged] == ["a", "b", "b", "a"]
+        times = [r.arrival_time for _, r in merged]
+        assert times == sorted(times)
+
+    def test_ties_break_by_stream_insertion_order(self):
+        from repro.execution.events import RequestArrival
+
+        tied = {
+            "late": [RequestArrival(arrival_time=3.0)],
+            "early": [RequestArrival(arrival_time=3.0)],
+        }
+        assert [t for t, _ in merge_request_streams(tied)] == ["late", "early"]
+
+    def test_empty_streams_merge_to_empty(self):
+        assert merge_request_streams({}) == []
+        assert merge_request_streams({"a": []}) == []
