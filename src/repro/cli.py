@@ -22,7 +22,12 @@ Exposes the most common operations of the library without writing Python:
   ``--suite drift`` runs the adaptive-vs-static drift scenarios (mix
   shifts, flash crowd, diurnal ramp, online tuning); ``--suite protection``
   runs the graceful-degradation suite (overload brownout, breaker storm,
-  hedges vs stragglers, deadline cascade).
+  hedges vs stragglers, deadline cascade); ``--suite fuzz`` runs generated
+  invariant-checked scenarios.
+* ``repro-aarc fuzz --budget N --seed S`` — fuzz the serving layer with N
+  generated scenarios (workload zoo x arrivals x drift x faults x
+  protection x controller), check the cross-cutting accounting invariants
+  on every run, and shrink any failure to a minimal reproducer.
 
 The ``repro`` console script is an alias of ``repro-aarc``.
 
@@ -56,12 +61,14 @@ from repro.experiments.harness import (
     build_objective,
     make_searcher,
 )
+from repro.experiments.fuzzer import run_fuzz
 from repro.experiments.motivation import decoupling_heatmap
 from repro.experiments.reporting import (
     render_backend_stats,
     render_drift_suite,
     render_fleet_result,
     render_fleet_suite,
+    render_fuzz_report,
     render_heatmap,
     render_scenario_matrix,
     render_serving_report,
@@ -234,11 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--suite", default="resilience",
-        choices=["resilience", "drift", "protection", "fleet"],
+        choices=["resilience", "drift", "protection", "fleet", "fuzz"],
         help="scenario family: fault resilience, drift-aware adaptive "
              "serving (drift ignores --workload/--method/--nodes/--rate), "
-             "the graceful-degradation protection suite, or the "
-             "multi-tenant fleet suite (fleet ignores the same knobs)",
+             "the graceful-degradation protection suite, the multi-tenant "
+             "fleet suite (fleet ignores the same knobs), or generated "
+             "invariant-checked fuzz scenarios (fuzz honours --budget, "
+             "--workers and the seed only)",
+    )
+    scenarios.add_argument(
+        "--budget", type=positive_int, default=25,
+        help="number of generated scenarios for --suite fuzz",
     )
     scenarios.add_argument(
         "--workload", default="chatbot",
@@ -292,6 +305,36 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--seed", dest="fleet_seed", type=int, default=None,
         help="experiment seed (same as the global --seed)",
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="fuzz the serving layer with generated, invariant-checked "
+             "scenarios (workload zoo x arrivals x drift x faults x "
+             "protection x controller)",
+    )
+    fuzz.add_argument(
+        "--budget", type=positive_int, default=25,
+        help="number of generated scenarios to run",
+    )
+    fuzz.add_argument(
+        "--workers", type=positive_int, default=None,
+        help="run scenarios in N parallel processes (reports stay "
+             "byte-identical; only wall-clock time changes)",
+    )
+    fuzz.add_argument(
+        "--verbose", action="store_true",
+        help="tabulate every generated scenario, not just failures",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip shrinking the first failure to a minimal reproducer",
+    )
+    fuzz.add_argument(
+        "--seed", dest="fuzz_seed", type=int, default=None,
+        help="campaign seed (same as the global --seed); gene i of a seed "
+             "is budget-independent, so --budget 25 is a prefix of "
+             "--budget 100",
     )
 
     return parser
@@ -426,6 +469,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     seed = args.scenarios_seed if args.scenarios_seed is not None else args.seed
+    if args.suite == "fuzz":
+        report = run_fuzz(budget=args.budget, seed=seed, workers=args.workers)
+        print(render_fuzz_report(report))
+        return 1 if report.failures else 0
     if args.suite == "drift":
         print(render_drift_suite(run_drift_suite(seed=seed)))
         return 0
@@ -479,6 +526,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    seed = args.fuzz_seed if args.fuzz_seed is not None else args.seed
+    report = run_fuzz(
+        budget=args.budget,
+        seed=seed,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+    )
+    print(render_fuzz_report(report, verbose=args.verbose))
+    return 1 if report.failures else 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "describe": _cmd_describe,
@@ -488,6 +547,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
+    "fuzz": _cmd_fuzz,
 }
 
 

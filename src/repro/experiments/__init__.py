@@ -53,6 +53,15 @@ from repro.experiments.adaptive_experiment import (
     run_drift_scenario,
     run_drift_suite,
 )
+from repro.experiments.fuzzer import (
+    FuzzReport,
+    ScenarioGene,
+    ShrinkResult,
+    check_invariants,
+    run_fuzz,
+    sample_gene,
+    shrink_failure,
+)
 from repro.experiments.reporting import (
     render_backend_stats,
     render_drift_suite,
@@ -95,4 +104,11 @@ __all__ = [
     "render_input_aware",
     "render_backend_stats",
     "render_serving_report",
+    "FuzzReport",
+    "ScenarioGene",
+    "ShrinkResult",
+    "check_invariants",
+    "run_fuzz",
+    "sample_gene",
+    "shrink_failure",
 ]

@@ -14,6 +14,7 @@ from repro.core.objective import SearchResult
 from repro.execution.fleet import FleetResult
 from repro.experiments.adaptive_experiment import DriftSuiteReport
 from repro.experiments.fleet_experiment import FleetSuiteReport
+from repro.experiments.fuzzer import FuzzReport
 from repro.experiments.input_aware_experiment import InputAwareComparison
 from repro.experiments.motivation import BOSearchStudy, DecouplingHeatmap
 from repro.experiments.optimal_experiment import OptimalConfigurationStats
@@ -34,6 +35,7 @@ __all__ = [
     "render_drift_suite",
     "render_fleet_result",
     "render_fleet_suite",
+    "render_fuzz_report",
 ]
 
 
@@ -514,3 +516,54 @@ def render_fleet_suite(report: "FleetSuiteReport") -> str:
             lines.append(render_fleet_result(run, title=f"  policy: {policy}"))
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def render_fuzz_report(report: FuzzReport, verbose: bool = False) -> str:
+    """Render one scenario-fuzz campaign.
+
+    The headline is the pass/fail count and the campaign digest (two
+    invocations with the same budget and seed must print the same digest —
+    that is the bit-reproducibility acceptance check).  Failures list their
+    gene and violations; when the campaign shrank a failure, the minimal
+    reproducer is appended.  ``verbose`` additionally tabulates every run.
+    """
+    failures = report.failures
+    lines = [
+        f"scenario fuzz — budget {report.budget}, seed {report.seed}: "
+        f"{len(report.records) - len(failures)} passed, "
+        f"{len(failures)} failed "
+        f"({report.violation_count} violations)",
+        f"  digest: {report.digest}",
+    ]
+    if verbose:
+        table = Table(
+            [
+                "gene", "workload", "arrival", "drift", "faults",
+                "protection", "controller", "offered", "completed",
+                "rejected", "violations",
+            ],
+            precision=3,
+            title="fuzzed scenarios",
+        )
+        for record in report.records:
+            gene = record.gene
+            table.add_row(
+                gene.index,
+                gene.workload,
+                gene.arrival,
+                gene.drift or "-",
+                gene.faults or "-",
+                gene.protection or "-",
+                gene.controller or "-",
+                record.offered,
+                record.completed,
+                record.rejected,
+                len(record.violations),
+            )
+        lines.append(table.render())
+    for record in failures:
+        lines.append(f"  FAIL gene {record.gene.index}: {record.gene.describe()}")
+        lines.extend(f"    violation: {v}" for v in record.violations)
+    if report.shrink is not None:
+        lines.append(report.shrink.describe())
+    return "\n".join(lines)

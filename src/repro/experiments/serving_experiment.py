@@ -492,11 +492,20 @@ def simulator_probe_latency(workload, dispatcher, input_class, executor) -> floa
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One named cell of the resilience scenario matrix."""
+    """One named cell of the resilience scenario matrix.
+
+    ``workload`` optionally pins the cell to its own workload (the scenario
+    fuzzer mixes generated workloads within one matrix run); ``None`` keeps
+    the matrix-level workload.  Carrying the *name* rather than the spec
+    keeps cells picklable, so mixed-workload matrices still run on the
+    process-pool workers — each worker rebuilds the workload from the name
+    (zoo names resolve through the procedural generator).
+    """
 
     name: str
     description: str
     settings: ServingSettings
+    workload: Optional[str] = None
 
 
 @dataclass
@@ -723,7 +732,8 @@ def build_protection_scenario_matrix(
 def _run_matrix_cell(cell: Tuple[str, ScenarioSpec]) -> Tuple[str, ServingReport]:
     """Run one scenario cell (module-level so worker processes can pickle it)."""
     workload_name, spec = cell
-    return spec.name, run_serving_experiment(workload_name, spec.settings)
+    target = spec.workload if spec.workload is not None else workload_name
+    return spec.name, run_serving_experiment(target, spec.settings)
 
 
 def run_scenario_matrix(
@@ -766,7 +776,10 @@ def run_scenario_matrix(
             )
     else:
         reports = {
-            spec.name: run_serving_experiment(workload_name, spec.settings)
+            spec.name: run_serving_experiment(
+                spec.workload if spec.workload is not None else workload_name,
+                spec.settings,
+            )
             for spec in specs
         }
     return ScenarioMatrixReport(

@@ -15,17 +15,27 @@ from repro.workloads.arrivals import (
     ConstantRateArrivals,
     DiurnalArrivals,
     PoissonArrivals,
+    ReplayArrivals,
     TraceArrivals,
     TrafficModel,
     TrafficProfile,
     build_arrival_process,
+    load_invocation_counts,
 )
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.chatbot import chatbot_workload
 from repro.workloads.ml_pipeline import ml_pipeline_workload
 from repro.workloads.video_analysis import video_analysis_workload
 from repro.workloads.inputs import InputClass, VIDEO_INPUT_CLASSES, request_sequence
-from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.registry import get_workload, list_workloads, register_workload
+from repro.workloads.zoo import (
+    ZOO_FAMILIES,
+    ZooConfig,
+    generate_workflow,
+    parse_zoo_name,
+    zoo_workload,
+    zoo_workload_from_name,
+)
 
 __all__ = [
     "WorkloadSpec",
@@ -37,6 +47,13 @@ __all__ = [
     "request_sequence",
     "get_workload",
     "list_workloads",
+    "register_workload",
+    "ZOO_FAMILIES",
+    "ZooConfig",
+    "generate_workflow",
+    "parse_zoo_name",
+    "zoo_workload",
+    "zoo_workload_from_name",
     "ARRIVAL_NAMES",
     "ArrivalProcess",
     "ConstantRateArrivals",
@@ -44,7 +61,9 @@ __all__ = [
     "BurstyArrivals",
     "DiurnalArrivals",
     "TraceArrivals",
+    "ReplayArrivals",
     "TrafficModel",
     "TrafficProfile",
     "build_arrival_process",
+    "load_invocation_counts",
 ]

@@ -32,21 +32,44 @@ def register_workload(name: str, factory: Callable[[], WorkloadSpec]) -> None:
     _FACTORIES[name] = factory
 
 
+def _ensure_zoo_defaults() -> None:
+    """Register the four default zoo families on first use (lazy import)."""
+    if "zoo-layered" in _FACTORIES:
+        return
+    from repro.workloads import zoo
+
+    for family in zoo.ZOO_FAMILIES:
+        short_name = f"zoo-{family}"
+        _FACTORIES[short_name] = (
+            lambda n=short_name: zoo.zoo_workload_from_name(n)
+        )
+
+
 def list_workloads() -> List[str]:
     """Names of all registered workloads."""
+    _ensure_zoo_defaults()
     return sorted(_FACTORIES.keys())
 
 
 def get_workload(name: str) -> WorkloadSpec:
     """Build a fresh workload specification by name.
 
-    Accepts a few spelling aliases (``ml_pipeline`` → ``ml-pipeline``).
+    Accepts a few spelling aliases (``ml_pipeline`` → ``ml-pipeline``), and
+    resolves any canonical zoo name (``zoo-layered-w3-d4-e35-s717``) through
+    the procedural generator — that is how scenario-matrix and fuzzer worker
+    processes rebuild generated workloads from plain strings.
     """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
+    if key.startswith("zoo-"):
+        _ensure_zoo_defaults()
     try:
         factory = _FACTORIES[key]
     except KeyError:
+        if key.startswith("zoo-"):
+            from repro.workloads import zoo
+
+            return zoo.zoo_workload_from_name(key)
         raise KeyError(
             f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
         ) from None

@@ -12,11 +12,13 @@ from repro.workloads.arrivals import (
     DiurnalArrivals,
     DriftingTrafficModel,
     PoissonArrivals,
+    ReplayArrivals,
     TraceArrivals,
     TrafficModel,
     TrafficPhase,
     TrafficProfile,
     build_arrival_process,
+    load_invocation_counts,
     load_trace_times,
     merge_request_streams,
 )
@@ -108,10 +110,20 @@ class TestTraceReplay:
 
 
 class TestFactory:
-    @pytest.mark.parametrize("name", [n for n in ARRIVAL_NAMES if n != "trace"])
+    @pytest.mark.parametrize(
+        "name", [n for n in ARRIVAL_NAMES if n not in ("trace", "replay")]
+    )
     def test_builds_every_named_process(self, name):
         process = build_arrival_process(TrafficProfile(arrival=name, rate_rps=1.0))
         assert process.name == name
+
+    def test_replay_needs_counts(self):
+        with pytest.raises(ValueError):
+            build_arrival_process(TrafficProfile(arrival="replay"))
+        process = build_arrival_process(
+            TrafficProfile(arrival="replay", trace_counts=[2, 0, 3])
+        )
+        assert process.name == "replay"
 
     def test_trace_needs_times(self):
         with pytest.raises(ValueError):
@@ -305,3 +317,155 @@ class TestMergeRequestStreams:
     def test_empty_streams_merge_to_empty(self):
         assert merge_request_streams({}) == []
         assert merge_request_streams({"a": []}) == []
+
+
+class TestNonFiniteTraceValidation:
+    def test_constructor_rejects_nan_and_infinity(self):
+        for bad in ([float("nan"), 1.0], [0.0, float("inf")], [float("-inf")]):
+            with pytest.raises(ValueError, match="finite"):
+                TraceArrivals(bad)
+
+    def test_loader_rejects_json_nan_literals(self, tmp_path):
+        # json.load happily parses the NaN/Infinity literals, and NaN fails
+        # every `<` comparison, so it used to slip past the monotonicity and
+        # negativity validators.
+        for literal in ("[0.0, NaN, 2.0]", "[0.0, Infinity]", "[-Infinity, 0.0]"):
+            path = tmp_path / "corrupt.json"
+            path.write_text(literal)
+            with pytest.raises(ValueError, match="finite"):
+                load_trace_times(str(path))
+
+
+class TestClassWeightValidation:
+    def test_unknown_weight_keys_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            TrafficModel(
+                ConstantRateArrivals(1.0),
+                classes=VIDEO_INPUT_CLASSES,
+                weights={"light": 0.5, "hevy": 0.5},  # typo'd class name
+            )
+        assert "hevy" in str(excinfo.value)
+
+    def test_non_finite_or_negative_weights_rejected(self):
+        for bad in ({"light": float("nan")}, {"light": -1.0}):
+            with pytest.raises(ValueError):
+                TrafficModel(
+                    ConstantRateArrivals(1.0),
+                    classes=VIDEO_INPUT_CLASSES,
+                    weights=bad,
+                )
+
+    def test_zero_weight_class_never_emitted(self):
+        # "heavy" is the *last* class; the old fallback returned classes[-1]
+        # whenever float rounding left the cumulative sum below the draw.
+        model = TrafficModel(
+            ConstantRateArrivals(50.0),
+            classes=VIDEO_INPUT_CLASSES,
+            weights={"light": 0.1, "middle": 0.2, "heavy": 0.0},
+        )
+        requests = model.generate(200.0, RngStream(31, "zero-weight"))
+        assert len(requests) == 10000
+        assert all(r.input_class != "heavy" for r in requests)
+
+    def test_zero_weight_class_never_emitted_batch(self):
+        model = TrafficModel(
+            ConstantRateArrivals(50.0),
+            classes=VIDEO_INPUT_CLASSES,
+            weights={"light": 0.1, "middle": 0.2, "heavy": 0.0},
+        )
+        batch = model.generate_batch(200.0, RngStream(31, "zero-weight"))
+        assert all(r.input_class != "heavy" for r in batch.to_requests())
+
+
+class TestReplayArrivals:
+    def test_round_trips_counts_exactly(self):
+        counts = [3, 0, 7, 1, 0, 5]
+        process = ReplayArrivals(counts, bin_seconds=60.0)
+        times = process.arrival_times(6 * 60.0)
+        assert len(times) == sum(counts)
+        rebinned = [0] * len(counts)
+        for t in times:
+            rebinned[int(t // 60.0)] += 1
+        assert rebinned == counts
+
+    def test_clips_to_duration(self):
+        process = ReplayArrivals([2, 2], bin_seconds=10.0)
+        assert process.arrival_times(10.0) == [0.0, 5.0]
+        assert process.arrival_times(15.0) == [0.0, 5.0, 10.0]
+
+    def test_scalar_and_array_paths_identical(self):
+        process = ReplayArrivals([4, 0, 9, 2], bin_seconds=30.0)
+        scalar = process.arrival_times(100.0)
+        array = process.arrival_times_array(100.0)
+        assert scalar == list(array)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayArrivals([])
+        with pytest.raises(ValueError):
+            ReplayArrivals([0, 0])
+        with pytest.raises(ValueError):
+            ReplayArrivals([1.5])
+        with pytest.raises(ValueError):
+            ReplayArrivals([-1])
+        with pytest.raises(ValueError):
+            ReplayArrivals([float("nan")])
+        with pytest.raises(ValueError):
+            ReplayArrivals([1], bin_seconds=0.0)
+
+    def test_composes_with_traffic_model(self):
+        model = TrafficModel(ReplayArrivals([2, 3], bin_seconds=10.0))
+        requests = model.generate(20.0)
+        assert len(requests) == 5
+
+    def test_load_invocation_counts_json(self, tmp_path):
+        flat = tmp_path / "flat.json"
+        flat.write_text(json.dumps([1, 2, 3]))
+        assert load_invocation_counts(str(flat)) == [1.0, 2.0, 3.0]
+        keyed = tmp_path / "keyed.json"
+        keyed.write_text(json.dumps({"counts": [4, 0], "app": "demo"}))
+        assert load_invocation_counts(str(keyed)) == [4.0, 0.0]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"no": "counts"}))
+        with pytest.raises(ValueError):
+            load_invocation_counts(str(bad))
+
+    def test_load_invocation_counts_csv_sums_functions(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        path.write_text(
+            "HashFunction,Trigger,1,2,3\n"
+            "f1,http,1,0,2\n"
+            "f2,timer,0,5,1\n"
+        )
+        # The Azure header labels minutes with bare numbers (1,2,3); the
+        # loader must recognise and skip it, not sum it into the totals.
+        assert load_invocation_counts(str(path)) == [1.0, 5.0, 3.0]
+
+    def test_load_rejects_negative_counts(self, tmp_path):
+        path = tmp_path / "neg.json"
+        path.write_text(json.dumps([1, -2]))
+        with pytest.raises(ValueError):
+            load_invocation_counts(str(path))
+
+
+class TestReplayRoundTripProperty:
+    from hypothesis import given, settings as hsettings, strategies as st
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=12),
+        bin_seconds=st.sampled_from([1.0, 7.5, 60.0]),
+    )
+    @hsettings(max_examples=60, deadline=None)
+    def test_rebinning_recovers_counts(self, counts, bin_seconds):
+        from hypothesis import assume
+
+        assume(any(counts))
+        process = ReplayArrivals(counts, bin_seconds=bin_seconds)
+        horizon = len(counts) * bin_seconds
+        times = process.arrival_times(horizon)
+        assert len(times) == sum(counts) == process.total_invocations
+        rebinned = [0] * len(counts)
+        for t in times:
+            rebinned[int(t // bin_seconds)] += 1
+        assert rebinned == counts
+        assert list(process.arrival_times_array(horizon)) == times

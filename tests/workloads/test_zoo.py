@@ -1,0 +1,178 @@
+"""Tests for the procedural workload zoo."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.rng import RngStream
+from repro.workflow.serialization import workflow_to_json
+from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.zoo import (
+    ZOO_FAMILIES,
+    ZooConfig,
+    generate_profiles,
+    generate_workflow,
+    is_zoo_name,
+    parse_zoo_name,
+    zoo_workload,
+    zoo_workload_from_name,
+)
+
+families = st.sampled_from(ZOO_FAMILIES)
+seeds = st.integers(min_value=0, max_value=99_999)
+widths = st.integers(min_value=1, max_value=5)
+depths = st.integers(min_value=2, max_value=5)
+densities = st.sampled_from([0.0, 0.15, 0.35, 0.6, 1.0])
+
+
+@st.composite
+def zoo_configs(draw):
+    return ZooConfig(
+        family=draw(families),
+        seed=draw(seeds),
+        width=draw(widths),
+        depth=draw(depths),
+        edge_density=draw(densities),
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            ZooConfig(family="star")
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ZooConfig(family="pipeline", width=0)
+        with pytest.raises(ValueError):
+            ZooConfig(family="layered", depth=1)
+        with pytest.raises(ValueError):
+            ZooConfig(edge_density=1.5)
+        with pytest.raises(ValueError):
+            ZooConfig(slo_slack=1.0)
+        with pytest.raises(ValueError):
+            ZooConfig(seed=-1)
+
+
+class TestNaming:
+    def test_canonical_name_round_trips(self):
+        config = ZooConfig(
+            family="fanout", seed=717, width=4, depth=2, edge_density=0.6
+        )
+        assert config.name == "zoo-fanout-w4-d2-e60-s717"
+        assert parse_zoo_name(config.name) == config
+
+    def test_short_form_resolves_to_defaults(self):
+        config = parse_zoo_name("zoo-random")
+        assert config.family == "random"
+        assert config == ZooConfig(family="random")
+
+    def test_rejects_non_zoo_names(self):
+        assert not is_zoo_name("chatbot")
+        assert not is_zoo_name("zoo-layered-w3")  # truncated parameter block
+        for name in ("chatbot", "zoo-", "zoo-star", "zoo-layered-w3"):
+            with pytest.raises(KeyError):
+                parse_zoo_name(name)
+
+    @given(config=zoo_configs())
+    @settings(max_examples=50, deadline=None)
+    def test_every_config_name_parses_back(self, config):
+        assert is_zoo_name(config.name)
+        assert parse_zoo_name(config.name) == config
+
+
+class TestGeneratedStructure:
+    @given(config=zoo_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_acyclic_and_connected(self, config):
+        workflow = generate_workflow(config)
+        graph = nx.DiGraph(workflow.edges)
+        graph.add_nodes_from(workflow.function_names)
+        assert nx.is_directed_acyclic_graph(graph)
+        if workflow.n_functions > 1:
+            assert nx.is_weakly_connected(graph)
+
+    @given(config=zoo_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_byte_identity(self, config):
+        first = generate_workflow(config)
+        second = generate_workflow(config)
+        assert workflow_to_json(first) == workflow_to_json(second)
+        assert generate_profiles(first, config) == generate_profiles(second, config)
+
+    @given(config=zoo_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_profiles_cover_every_function(self, config):
+        workflow = generate_workflow(config)
+        profiles = generate_profiles(workflow, config)
+        assert {p.name for p in profiles} == set(workflow.function_names)
+        for profile in profiles:
+            assert profile.cpu_seconds > 0
+            assert profile.comfortable_memory_mb >= profile.working_set_mb
+
+    def test_seed_changes_structure_or_profiles(self):
+        a = zoo_workload(ZooConfig(family="layered", seed=1, width=4, depth=4))
+        b = zoo_workload(ZooConfig(family="layered", seed=2, width=4, depth=4))
+        assert (
+            workflow_to_json(a.workflow) != workflow_to_json(b.workflow)
+            or a.profiles != b.profiles
+        )
+
+    def test_fanout_shape(self):
+        workflow = generate_workflow(ZooConfig(family="fanout", width=3, depth=2))
+        # src + 3 branches x 2 stages + sink
+        assert workflow.n_functions == 8
+        assert workflow.communication_pattern() == "broadcast"
+
+    def test_pipeline_shape(self):
+        workflow = generate_workflow(ZooConfig(family="pipeline", depth=4))
+        assert workflow.n_functions == 4
+        assert workflow.n_edges == 3
+        assert workflow.communication_pattern() == "chain"
+
+
+class TestWorkloadSpec:
+    def test_full_spec_is_runnable_and_meets_its_slo(self):
+        spec = zoo_workload(ZooConfig(family="layered", seed=717, width=3, depth=3))
+        executor = spec.build_executor()
+        trace = executor.execute(spec.workflow, spec.base_configuration())
+        # The SLO derives from this very probe times the slack, so a clean
+        # uncontended run must meet it with room to spare.
+        assert trace.end_to_end_latency < spec.slo.latency_limit
+        assert spec.base_config.memory_mb >= max(
+            p.comfortable_memory_mb for p in spec.profiles
+        )
+
+    def test_workload_from_name_matches_config_path(self):
+        config = ZooConfig(family="random", seed=99, width=2, depth=3)
+        by_name = zoo_workload_from_name(config.name)
+        by_config = zoo_workload(config)
+        assert workflow_to_json(by_name.workflow) == workflow_to_json(
+            by_config.workflow
+        )
+        assert by_name.slo.latency_limit == by_config.slo.latency_limit
+
+    def test_traffic_model_generates(self):
+        spec = zoo_workload(ZooConfig(family="pipeline", seed=5))
+        requests = spec.traffic_model().generate(100.0, RngStream(1, "t"))
+        assert all(r.arrival_time < 100.0 for r in requests)
+
+
+class TestRegistryResolution:
+    def test_families_listed_alongside_paper_apps(self):
+        names = list_workloads()
+        assert "chatbot" in names
+        for family in ZOO_FAMILIES:
+            assert f"zoo-{family}" in names
+
+    def test_short_and_canonical_names_resolve(self):
+        short = get_workload("zoo-pipeline")
+        assert short.name == ZooConfig(family="pipeline").name
+        canonical = get_workload("zoo-layered-w4-d3-e15-s42")
+        assert canonical.name == "zoo-layered-w4-d3-e15-s42"
+
+    def test_unknown_names_still_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("zoo-star")
+        with pytest.raises(KeyError):
+            get_workload("no-such-workload")
